@@ -1,0 +1,85 @@
+//! A 1:1 package (Mach C Threads "wired" style).
+//!
+//! Every thread is a kernel-supported thread of control: creation enters
+//! the kernel, synchronization blocks in the kernel, and there is no
+//! user-level multiplexing at all. The paper's critique: "If each thread
+//! were always known to the kernel, it would have to allocate kernel data
+//! structures for each one and get involved in context switching threads
+//! even though most thread interactions involve threads in the same
+//! process."
+//!
+//! The synchronization variables are the same `sunmt-sync` types; because
+//! no threads library installs a user-level strategy here, they block the
+//! LWP in the kernel — which is the 1:1 behaviour being modelled.
+
+use std::io;
+
+use sunmt_lwp::Lwp;
+
+/// A 1:1 thread: a thin veneer over an LWP.
+pub struct CThread {
+    lwp: Lwp,
+}
+
+impl CThread {
+    /// Creates a kernel thread running `f` (compare: unbound
+    /// `thread_create` never enters the kernel).
+    pub fn spawn<F>(f: F) -> io::Result<CThread>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Ok(CThread {
+            lwp: Lwp::spawn_named("cthread".to_string(), f)?,
+        })
+    }
+
+    /// Waits for the thread to finish.
+    pub fn join(self) {
+        self.lwp.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use sunmt_sync::{Sema, SyncType};
+
+    #[test]
+    fn cthreads_run_and_join() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<CThread> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                CThread::spawn(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("spawn")
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn cthreads_synchronize_through_kernel_semaphores() {
+        let s1 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+        let s2 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+        let (a1, a2) = (Arc::clone(&s1), Arc::clone(&s2));
+        let t = CThread::spawn(move || {
+            for _ in 0..200 {
+                a1.p();
+                a2.v();
+            }
+        })
+        .expect("spawn");
+        for _ in 0..200 {
+            s1.v();
+            s2.p();
+        }
+        t.join();
+    }
+}

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the context-switch substrate: the self-switch
+//! baseline, a full coroutine round trip, and unbound thread yield.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_baselines::coro::{self, N1Scheduler};
+use sunmt_context::arch::MachContext;
+
+fn bench_context(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_switch");
+
+    g.bench_function("self_switch", |b| {
+        let mut ctx = MachContext::zeroed();
+        b.iter(|| sunmt_context::self_switch(&mut ctx));
+    });
+
+    g.sample_size(10);
+    g.bench_function("coroutine_yield_pair", |b| {
+        b.iter_custom(|iters| {
+            // Two coroutines yield to each other `iters` times; each
+            // iteration is two full switches through the scheduler.
+            let s = N1Scheduler::new();
+            for _ in 0..2 {
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        coro::yield_now();
+                    }
+                });
+            }
+            let start = sunmt_sys::time::monotonic_now();
+            s.run();
+            sunmt_sys::time::monotonic_now() - start
+        })
+    });
+
+    g.bench_function("unbound_thread_yield", |b| {
+        sunmt::init();
+        sunmt::set_concurrency(1).expect("setconcurrency");
+        b.iter_custom(|iters| {
+            let id = ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    for _ in 0..iters {
+                        sunmt::yield_now();
+                    }
+                })
+                .expect("spawn");
+            let start = sunmt_sys::time::monotonic_now();
+            sunmt::wait(Some(id)).expect("wait");
+            sunmt_sys::time::monotonic_now() - start
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_context);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion version of Figure 5: thread creation time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sunmt::{CreateFlags, ThreadBuilder};
+
+/// Creates `n` suspended threads in bounded batches (only creation is
+/// timed; reaping is not). Batching caps live threads and stacks, so
+/// criterion may push `n` arbitrarily high without exhausting memory.
+fn create_many(flags: CreateFlags, n: u64) -> Duration {
+    let batch = if flags.contains(CreateFlags::BIND_LWP) {
+        16
+    } else {
+        256
+    };
+    let mut total = Duration::ZERO;
+    let mut left = n;
+    let mut ids = Vec::with_capacity(batch as usize);
+    while left > 0 {
+        let chunk = left.min(batch);
+        let start = sunmt_sys::time::monotonic_now();
+        for _ in 0..chunk {
+            ids.push(
+                ThreadBuilder::new()
+                    .flags(flags | CreateFlags::WAIT | CreateFlags::STOP)
+                    .spawn(|| {})
+                    .expect("spawn"),
+            );
+        }
+        total += sunmt_sys::time::monotonic_now() - start;
+        for id in ids.drain(..) {
+            sunmt::cont(id).expect("continue");
+            sunmt::wait(Some(id)).expect("wait");
+        }
+        left -= chunk;
+    }
+    total
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    sunmt::init();
+    // Warm the stack cache so creations measure the cached path, as in the
+    // paper.
+    create_many(CreateFlags::NONE, 64);
+
+    let mut g = c.benchmark_group("fig5_thread_create");
+    g.bench_function("unbound", |b| {
+        b.iter_custom(|iters| create_many(CreateFlags::NONE, iters))
+    });
+    g.sample_size(10);
+    g.bench_function("bound", |b| {
+        b.iter_custom(|iters| create_many(CreateFlags::BIND_LWP, iters))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion version of Figure 6: thread synchronization time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_context::arch::MachContext;
+use sunmt_sync::{Sema, SyncType};
+
+/// One timed ping-pong run of `rounds` round trips under the given
+/// thread-binding flags.
+fn ping_pong(flags: CreateFlags, rounds: u64) -> Duration {
+    let s1 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let s2 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let (a1, a2) = (Arc::clone(&s1), Arc::clone(&s2));
+    let partner = ThreadBuilder::new()
+        .flags(flags | CreateFlags::WAIT)
+        .spawn(move || {
+            for _ in 0..rounds {
+                a1.p();
+                a2.v();
+            }
+        })
+        .expect("spawn");
+    let elapsed = Arc::new(std::sync::Mutex::new(Duration::ZERO));
+    let e2 = Arc::clone(&elapsed);
+    let driver = ThreadBuilder::new()
+        .flags(flags | CreateFlags::WAIT)
+        .spawn(move || {
+            let start = sunmt_sys::time::monotonic_now();
+            for _ in 0..rounds {
+                s1.v();
+                s2.p();
+            }
+            *e2.lock().expect("elapsed") = sunmt_sys::time::monotonic_now() - start;
+        })
+        .expect("spawn");
+    sunmt::wait(Some(partner)).expect("wait");
+    sunmt::wait(Some(driver)).expect("wait");
+    let out = *elapsed.lock().expect("elapsed");
+    out
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    sunmt::init();
+    sunmt::set_concurrency(1).expect("setconcurrency");
+
+    let mut g = c.benchmark_group("fig6_sync");
+    g.bench_function("setjmp_longjmp_baseline", |b| {
+        let mut ctx = MachContext::zeroed();
+        b.iter(|| sunmt_context::self_switch(&mut ctx));
+    });
+    g.sample_size(10);
+    g.bench_function("unbound_round_trip", |b| {
+        b.iter_custom(|iters| ping_pong(CreateFlags::NONE, iters))
+    });
+    g.bench_function("bound_round_trip", |b| {
+        b.iter_custom(|iters| ping_pong(CreateFlags::BIND_LWP, iters))
+    });
+    g.finish();
+    sunmt::set_concurrency(0).expect("setconcurrency");
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

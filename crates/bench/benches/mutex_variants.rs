@@ -1,0 +1,54 @@
+//! Micro-benchmarks of every synchronization variable's fast path, plus
+//! the mutex implementation variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sunmt_sync::{Condvar, Mutex, RwLock, RwType, Sema, SyncType};
+
+fn bench_sync_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_fast_paths");
+
+    for (name, kind) in [
+        ("mutex_default", SyncType::DEFAULT),
+        ("mutex_spin", SyncType::SPIN),
+        ("mutex_adaptive", SyncType::ADAPTIVE),
+        ("mutex_shared", SyncType::SHARED),
+    ] {
+        let m = Mutex::new(kind);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                m.enter();
+                m.exit();
+            })
+        });
+    }
+
+    let s = Sema::new(1, SyncType::DEFAULT);
+    g.bench_function("sema_p_v", |b| {
+        b.iter(|| {
+            s.p();
+            s.v();
+        })
+    });
+
+    let rw = RwLock::new(SyncType::DEFAULT);
+    g.bench_function("rw_reader", |b| {
+        b.iter(|| {
+            rw.enter(RwType::Reader);
+            rw.exit();
+        })
+    });
+    g.bench_function("rw_writer", |b| {
+        b.iter(|| {
+            rw.enter(RwType::Writer);
+            rw.exit();
+        })
+    });
+
+    let cv = Condvar::new(SyncType::DEFAULT);
+    g.bench_function("cv_signal_no_waiter", |b| b.iter(|| cv.signal()));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_primitives);
+criterion_main!(benches);

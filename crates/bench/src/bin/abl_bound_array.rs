@@ -1,0 +1,93 @@
+//! ABL-BOUND — the paper's array-computation argument: "A parallel array
+//! computation divides the rows of its arrays among different threads. If
+//! there is one LWP per processor, but multiple threads per LWP, each
+//! processor would spend overhead switching between threads. It would be
+//! better to ... divide the rows among a smaller number of threads."
+//!
+//! Sweep: row-partitioned array reduction with (a) bound threads, one per
+//! LWP; (b) unbound threads matching the LWP count; (c) 8x oversubscribed
+//! unbound threads that yield between row blocks (the switching overhead
+//! the paper warns about).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::PaperTable;
+
+const ROWS: usize = 512;
+const COLS: usize = 2_048;
+
+fn run(threads: usize, flags: CreateFlags, yield_per_block: bool) -> (f64, u64) {
+    let data: Arc<Vec<u64>> = Arc::new((0..ROWS * COLS).map(|i| (i as u64) % 7 + 1).collect());
+    let sum = Arc::new(AtomicU64::new(0));
+    let rows_per = ROWS / threads;
+    let start = sunmt_sys::time::monotonic_now();
+    let ids: Vec<_> = (0..threads)
+        .map(|t| {
+            let data = Arc::clone(&data);
+            let sum = Arc::clone(&sum);
+            ThreadBuilder::new()
+                .flags(flags)
+                .spawn(move || {
+                    let mut local = 0u64;
+                    for r in t * rows_per..(t + 1) * rows_per {
+                        for c in 0..COLS {
+                            local = local.wrapping_add(data[r * COLS + c]);
+                        }
+                        if yield_per_block {
+                            sunmt::yield_now();
+                        }
+                    }
+                    sum.fetch_add(local, Ordering::SeqCst);
+                })
+                .expect("spawn")
+        })
+        .collect();
+    for id in ids {
+        sunmt::wait(Some(id)).expect("wait");
+    }
+    let elapsed = sunmt_sys::time::monotonic_now() - start;
+    (elapsed.as_secs_f64() * 1e6, sum.load(Ordering::SeqCst))
+}
+
+fn main() {
+    sunmt::init();
+    // "One LWP per processor" on this host.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    sunmt::set_concurrency(cpus).expect("setconcurrency");
+
+    // Warm-up pass: touch the allocator and fault pages in, so the first
+    // measured configuration is not charged the cold-start cost. Each
+    // configuration then takes best-of-3 to screen out external load.
+    let _ = run(cpus, CreateFlags::WAIT, false);
+    let best = |threads: usize, flags: CreateFlags, yielding: bool| -> (f64, u64) {
+        (0..3)
+            .map(|_| run(threads, flags, yielding))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("three runs")
+    };
+    let (bound_us, s1) = best(cpus, CreateFlags::WAIT | CreateFlags::BIND_LWP, false);
+    let (matched_us, s2) = best(cpus, CreateFlags::WAIT, false);
+    let over = (cpus * 8).min(ROWS);
+    let (oversub_us, s3) = best(over, CreateFlags::WAIT, true);
+    assert_eq!(s1, s2);
+    assert_eq!(s2, s3);
+
+    let mut t = PaperTable::new(format!(
+        "Ablation: array computation, {ROWS}x{COLS} reduction on {cpus} CPU(s)"
+    ));
+    t.row(format!("{cpus} bound threads (1 per LWP)"), bound_us)
+        .row(format!("{cpus} unbound threads"), matched_us)
+        .row(format!("{over} unbound threads, yielding"), oversub_us)
+        .note("the paper's advice: match thread count to LWPs for data parallelism".to_string());
+    t.print();
+
+    assert!(
+        oversub_us > bound_us * 0.8,
+        "shape check failed: oversubscription + switching must not be materially faster \
+         (oversub {oversub_us:.0} vs bound {bound_us:.0})"
+    );
+    println!("\nshape check: OK (thread-per-LWP partitioning is the efficient configuration)");
+    sunmt::set_concurrency(0).expect("setconcurrency");
+}

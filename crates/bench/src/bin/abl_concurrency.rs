@@ -1,0 +1,81 @@
+//! ABL-CONC — `thread_setconcurrency()` sweep: throughput of a mixed
+//! compute/blocking workload as a function of the requested degree of real
+//! concurrency.
+//!
+//! The paper: "The number of LWPs automatically created by the library
+//! (n = 0) is sufficient to avoid deadlock, but it may not be enough to
+//! avoid poor performance ... The programmer may tune the number of LWPs."
+//! Each thread alternates computing with a blocking call; with too few
+//! LWPs the blocking calls serialize the compute, with enough they overlap.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::PaperTable;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 6;
+const BLOCK_MS: u64 = 10;
+
+fn run(concurrency: usize) -> f64 {
+    sunmt::set_concurrency(concurrency).expect("setconcurrency");
+    let done = Arc::new(AtomicUsize::new(0));
+    let start = sunmt_sys::time::monotonic_now();
+    let ids: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let done = Arc::clone(&done);
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    for _ in 0..ROUNDS {
+                        // A blocking kernel call holds this thread's LWP.
+                        sunmt::blocking(|| std::thread::sleep(Duration::from_millis(BLOCK_MS)));
+                        sunmt::yield_now();
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("spawn")
+        })
+        .collect();
+    for id in ids {
+        sunmt::wait(Some(id)).expect("wait");
+    }
+    assert_eq!(done.load(Ordering::SeqCst), THREADS);
+    (sunmt_sys::time::monotonic_now() - start).as_secs_f64() * 1e3
+}
+
+fn main() {
+    sunmt::init();
+    let mut t = PaperTable::new(format!(
+        "Ablation: thread_setconcurrency sweep — {THREADS} threads x {ROUNDS} blocking calls of {BLOCK_MS} ms (makespan, ms)"
+    ));
+    let serial_ms = (THREADS * ROUNDS) as f64 * BLOCK_MS as f64;
+    t.row("serial reference (no overlap)", serial_ms);
+    let mut results = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let ms = run(n);
+        results.push((n, ms));
+        t.row(format!("concurrency {n}"), ms);
+    }
+    t.note(
+        "every setting completes in ~overlap time because SIGWAITING growth \
+         adds LWPs whenever the last available one blocks — the paper's \
+         'sufficient to avoid deadlock' automatic mode; the explicit knob \
+         merely pre-sizes the pool"
+            .to_string(),
+    );
+    t.print();
+    for (n, ms) in &results {
+        assert!(
+            *ms < serial_ms * 0.5,
+            "shape check failed: concurrency {n} did not overlap blocking \
+             calls ({ms:.1} ms vs serial {serial_ms:.1} ms)"
+        );
+    }
+    println!(
+        "\nshape check: OK (blocking calls overlap at every setting; growth covers low settings)"
+    );
+    sunmt::set_concurrency(0).expect("setconcurrency");
+}

@@ -1,0 +1,91 @@
+//! ABL-MN — the paper's "Why have both threads and LWPs?" argument,
+//! quantified: a window-system-like workload (many mostly-idle widget
+//! threads, few active at once) under M:N, 1:1, and N:1 mappings, run
+//! deterministically in the simulated kernel.
+//!
+//! Expected shape (the paper's claim): M:N wins — "although the window
+//! system may be best expressed as a large number of threads, only a few
+//! of the threads ever need to be active ... at the same instant." 1:1
+//! pays LWP creation for every widget; N:1 (liblwp) stalls whole-process
+//! on every blocking call.
+
+use sunmt_bench::PaperTable;
+use sunmt_simkernel::threads::{install, PkgCosts, PkgModel, TOp, ThreadSpec};
+use sunmt_simkernel::{SimConfig, SimKernel};
+
+/// Widgets in the window system.
+const WIDGETS: usize = 400;
+/// Each widget handles a few events: short compute + one I/O.
+fn widget() -> ThreadSpec {
+    ThreadSpec {
+        ops: vec![
+            TOp::Compute(30),
+            TOp::Io { latency: 200 },
+            TOp::Compute(30),
+            TOp::Io { latency: 200 },
+            TOp::Compute(30),
+            TOp::Exit,
+        ],
+    }
+}
+
+fn run(model: PkgModel) -> (u64, u64, u64) {
+    let mut k = SimKernel::new(SimConfig {
+        cpus: 2,
+        ts_quantum: 10_000,
+        dispatch_cost: 10,
+    });
+    let pid = k.add_process();
+    let h = install(
+        &mut k,
+        pid,
+        model,
+        PkgCosts::default(),
+        (0..WIDGETS).map(|_| widget()).collect(),
+        0,
+    );
+    let end = k.run_until_idle(1_000_000_000);
+    assert!(h.all_done(), "model {model:?} did not finish");
+    (end, h.creation_cost, h.metrics().lwps_grown)
+}
+
+fn main() {
+    let mn = run(PkgModel::Mn {
+        lwps: 4,
+        activations: false,
+        growable: true,
+    });
+    let one = run(PkgModel::OneToOne);
+    let n1 = run(PkgModel::Mn {
+        lwps: 1,
+        activations: false,
+        growable: false,
+    });
+
+    let mut t = PaperTable::new(format!(
+        "Ablation: window-system workload, {WIDGETS} widget threads (virtual us, runtime + creation)"
+    ));
+    t.row("M:N on 4 LWPs (SunOS MT)", (mn.0 + mn.1) as f64)
+        .row("1:1 (C Threads wired)", (one.0 + one.1) as f64)
+        .row("N:1 (SunOS 4.0 liblwp)", (n1.0 + n1.1) as f64)
+        .note(format!(
+            "runtime only: M:N {} / 1:1 {} / N:1 {} virtual us",
+            mn.0, one.0, n1.0
+        ))
+        .note(format!(
+            "creation only: M:N {} / 1:1 {} / N:1 {} virtual us (paper: 56 vs 2327 us per thread)",
+            mn.1, one.1, n1.1
+        ))
+        .note(format!("M:N pool growth during run: {} LWPs", mn.2));
+    t.print();
+
+    assert!(
+        mn.0 + mn.1 < one.0 + one.1,
+        "shape check failed: M:N must beat 1:1 on mostly-idle widget threads"
+    );
+    assert!(
+        mn.0 <= n1.0,
+        "shape check failed: M:N must not lose to whole-process-blocking N:1"
+    );
+    println!("\nshape check: OK (M:N < 1:1 in total cost; M:N <= N:1 in runtime)");
+}

@@ -1,0 +1,117 @@
+//! ABL-SIGW — deadlock avoidance and the Anderson 1990 comparison:
+//! `SIGWAITING` pool growth vs scheduler-activations-style upcalls vs no
+//! kernel help at all, in the simulated kernel.
+//!
+//! Workload: producer threads block in `poll()`-like *indefinite* waits
+//! (the case `SIGWAITING` is defined for) and then V a semaphore; consumer
+//! threads P it and compute. With one LWP and no growth, the whole process
+//! serializes behind each wait; SIGWAITING recovers concurrency when all
+//! LWPs are in indefinite waits; activations recover it on *every* block —
+//! "the former is sent only when the LWP blocks in an indefinite wait. The
+//! latter is sent whenever the thread blocks in the kernel for any event."
+
+use sunmt_bench::PaperTable;
+use sunmt_simkernel::threads::{install, PkgCosts, PkgModel, TOp, ThreadSpec};
+use sunmt_simkernel::{SimConfig, SimKernel};
+
+const PAIRS: usize = 16;
+
+fn workload() -> Vec<ThreadSpec> {
+    let mut threads = Vec::new();
+    for _ in 0..PAIRS {
+        threads.push(ThreadSpec {
+            ops: vec![
+                TOp::Poll { latency: 2_000 },
+                TOp::SemaV(0),
+                TOp::Poll { latency: 2_000 },
+                TOp::Exit,
+            ],
+        });
+        threads.push(ThreadSpec {
+            ops: vec![TOp::SemaP(0), TOp::Compute(200), TOp::Exit],
+        });
+    }
+    threads
+}
+
+fn run(activations: bool, growable: bool) -> (u64, u64, bool, u64) {
+    let mut k = SimKernel::new(SimConfig {
+        cpus: 4,
+        ts_quantum: 10_000,
+        dispatch_cost: 10,
+    });
+    let pid = k.add_process();
+    let h = install(
+        &mut k,
+        pid,
+        PkgModel::Mn {
+            lwps: 1,
+            activations,
+            growable,
+        },
+        PkgCosts::default(),
+        workload(),
+        1,
+    );
+    let end = k.run_until_idle(100_000_000);
+    (
+        end,
+        h.metrics().lwps_grown,
+        h.all_done(),
+        k.sigwaiting_count(pid),
+    )
+}
+
+fn main() {
+    let none = run(false, false);
+    let sigw = run(false, true);
+    let act = run(true, true);
+
+    let mut t = PaperTable::new(format!(
+        "Ablation: LWP-pool growth policy, {PAIRS} producer/consumer pairs on 1 initial LWP (virtual us)"
+    ));
+    t.row("no kernel help (liblwp)", none.0 as f64)
+        .row("SIGWAITING growth (SunOS MT)", sigw.0 as f64)
+        .row("scheduler activations (UW)", act.0 as f64)
+        .note(format!(
+            "completed: none={} sigwaiting={} activations={}",
+            none.2, sigw.2, act.2
+        ))
+        .note(format!(
+            "LWPs grown: none={} sigwaiting={} activations={}",
+            none.1, sigw.1, act.1
+        ))
+        .note(format!(
+            "SIGWAITING occurrences: none={} sigwaiting={} activations={}",
+            none.3, sigw.3, act.3
+        ));
+    t.print();
+
+    assert!(
+        sigw.2 && act.2,
+        "growth policies must complete the workload"
+    );
+    assert!(sigw.1 >= 1, "SIGWAITING must actually have grown the pool");
+    assert!(
+        sigw.0 < none.0,
+        "shape check failed: SIGWAITING growth must beat no-help \
+         (sigwaiting {} vs none {})",
+        sigw.0,
+        none.0
+    );
+    assert!(
+        act.0 < none.0,
+        "shape check failed: activation upcalls must beat no-help \
+         (activations {} vs none {})",
+        act.0,
+        none.0
+    );
+    // The paper's position on SIGWAITING-vs-activations is deliberately
+    // agnostic: "it is not clear that [finer-grained control] is an
+    // absolute requirement". Activations grow more eagerly (every block),
+    // which wins when LWP creation is cheap and loses when it is not — so
+    // the relative order is reported, not asserted.
+    println!(
+        "\nshape check: OK (both growth policies < no-help; relative order is cost-dependent)"
+    );
+}

@@ -1,0 +1,73 @@
+//! ABL-SMP — "the architecture must support both multiprocessor and
+//! uniprocessor implementations": a compute-parallel M:N workload swept
+//! across CPU counts in the simulated kernel, checking near-linear scaling
+//! (and that the uniprocessor case degrades to clean time slicing rather
+//! than breaking).
+
+use sunmt_bench::PaperTable;
+use sunmt_simkernel::threads::{install, PkgCosts, PkgModel, TOp, ThreadSpec};
+use sunmt_simkernel::{SimConfig, SimKernel};
+
+const THREADS: usize = 32;
+const WORK_US: u64 = 5_000;
+
+fn run(cpus: usize) -> u64 {
+    let mut k = SimKernel::new(SimConfig {
+        cpus,
+        ts_quantum: 1_000,
+        dispatch_cost: 5,
+    });
+    let pid = k.add_process();
+    let h = install(
+        &mut k,
+        pid,
+        PkgModel::Mn {
+            lwps: cpus, // "one LWP per processor"
+            activations: false,
+            growable: false,
+        },
+        PkgCosts {
+            thread_switch: 10,
+            thread_create: 0,
+            lwp_create: 0,
+        },
+        (0..THREADS)
+            .map(|_| ThreadSpec {
+                ops: vec![TOp::Compute(WORK_US), TOp::Exit],
+            })
+            .collect(),
+        0,
+    );
+    let end = k.run_until_idle(u64::MAX);
+    assert!(h.all_done());
+    end
+}
+
+fn main() {
+    let mut t = PaperTable::new(format!(
+        "Ablation: multiprocessor scaling — {THREADS} threads x {WORK_US} us on an M:N package \
+         with one LWP per processor (makespan, virtual us)"
+    ));
+    let mut results = Vec::new();
+    for cpus in [1usize, 2, 4, 8] {
+        let end = run(cpus);
+        results.push((cpus, end));
+        t.row(format!("{cpus} CPU(s)"), end as f64);
+    }
+    t.note("ratio column shows makespan shrinking as processors are added".to_string());
+    t.print();
+
+    let serial = results[0].1;
+    for (cpus, end) in &results[1..] {
+        let ideal = serial / *cpus as u64;
+        assert!(
+            *end < serial,
+            "adding CPUs must not slow the workload ({cpus} CPUs: {end})"
+        );
+        assert!(
+            *end <= ideal + ideal / 2,
+            "scaling too far from linear at {cpus} CPUs: {end} vs ideal {ideal}"
+        );
+    }
+    println!("\nshape check: OK (near-linear speedup, clean degradation to 1 CPU)");
+}

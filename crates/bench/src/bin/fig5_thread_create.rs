@@ -1,0 +1,97 @@
+//! FIG5 — regenerates the paper's Figure 5: thread creation time.
+//!
+//! Paper (SPARCstation 1+, 25 MHz): unbound create 56 µs, bound create
+//! 2327 µs, ratio 42. "It measures the time consumed to create a thread
+//! using a default stack that is cached by the threads package. The
+//! measured time only includes the actual creation time, it does not
+//! include the time for the initial context switch to the thread."
+//!
+//! Methodology here: threads are created with `THREAD_STOP` so creation is
+//! isolated from the first dispatch, matching the paper; the stack cache is
+//! pre-warmed. Extra rows give context on our substrate (N:1 coroutine
+//! creation and raw `std::thread` spawn).
+
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::{measure_us, PaperTable};
+
+const WARMUP: usize = 64;
+const ITERS: usize = 256;
+
+fn main() {
+    sunmt::init();
+    // Pre-warm the stack cache: create-and-reap enough unbound threads
+    // that every measured creation reuses a cached default stack.
+    let mut ids = Vec::new();
+    for _ in 0..WARMUP {
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(|| {})
+                .expect("warmup spawn"),
+        );
+    }
+    for id in ids {
+        sunmt::wait(Some(id)).expect("warmup wait");
+    }
+
+    // Steady-state creation cost, the paper's methodology: each batch
+    // creates suspended threads from the warmed stack cache (timed), then
+    // reaps them (untimed), so every creation takes the cached-stack path.
+    let timed_batched = |flags: CreateFlags, batch: usize, batches: usize| -> f64 {
+        let mut total = 0.0;
+        let mut ids = Vec::with_capacity(batch);
+        for _ in 0..batches {
+            total += measure_us(batch, || {
+                ids.push(
+                    ThreadBuilder::new()
+                        .flags(flags | CreateFlags::WAIT | CreateFlags::STOP)
+                        .spawn(|| {})
+                        .expect("spawn"),
+                );
+            }) * batch as f64;
+            for id in ids.drain(..) {
+                sunmt::cont(id).expect("continue");
+                sunmt::wait(Some(id)).expect("wait");
+            }
+        }
+        total / (batch * batches) as f64
+    };
+    // Unbound creation: no kernel involvement at all.
+    let unbound_us = timed_batched(CreateFlags::NONE, 32, ITERS / 32);
+    // Bound creation: "involves calling the kernel to also create an LWP".
+    let bound_us = timed_batched(CreateFlags::BIND_LWP, 8, ITERS / 32);
+
+    // Context rows.
+    let sched = sunmt_baselines::coro::N1Scheduler::new();
+    let coro_us = measure_us(ITERS, || {
+        sched.spawn(|| {});
+    });
+    sched.run();
+    let mut handles = Vec::with_capacity(ITERS / 4);
+    let std_us = measure_us(ITERS / 4, || {
+        handles.push(std::thread::spawn(|| {}));
+    });
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut t = PaperTable::new(
+        "Figure 5: Thread creation time (paper: unbound 56 us, bound 2327 us, ratio 42)",
+    );
+    t.row("Unbound thread create", unbound_us)
+        .row("Bound thread create", bound_us)
+        .note(format!(
+            "paper ratio 42; measured ratio {:.1}",
+            bound_us / unbound_us
+        ))
+        .note(format!(
+            "context: N:1 coroutine create {coro_us:.2} us, std::thread::spawn {std_us:.2} us"
+        ));
+    t.print();
+
+    assert!(
+        bound_us > unbound_us,
+        "shape check failed: bound creation must cost more than unbound"
+    );
+    println!("shape check: OK (bound create > unbound create)");
+}

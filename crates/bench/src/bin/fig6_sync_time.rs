@@ -1,0 +1,142 @@
+//! FIG6 — regenerates the paper's Figure 6: thread synchronization time.
+//!
+//! Paper (SPARCstation 1+): setjmp/longjmp 59 µs; unbound sync 158 µs
+//! (ratio 2.7); bound sync 348 µs (ratio 2.2); cross-process sync 301 µs
+//! (ratio .86). The measurement is two threads synchronizing through two
+//! semaphores (`sema_v(&s1); sema_p(&s2)` against `sema_p(&s1);
+//! sema_v(&s2)`), halved because each round trip is two synchronizations.
+
+use std::sync::Arc;
+
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::PaperTable;
+use sunmt_context::arch::MachContext;
+use sunmt_shm::{ipc, SharedFile};
+use sunmt_sync::{Sema, SyncType};
+
+const ROUNDS: usize = 20_000;
+const CROSS_ROUNDS: usize = 5_000;
+
+/// Offsets of the two semaphores inside the shared file.
+const S1_OFF: usize = 64;
+const S2_OFF: usize = 128;
+
+fn main() {
+    // Cross-process child half: p(s1); v(s2) in a loop.
+    if let Some(role) = ipc::child_role() {
+        assert_eq!(role, "fig6-pong");
+        let path: std::path::PathBuf = std::env::args_os().nth(1).expect("shared path").into();
+        let f = SharedFile::open(&path).expect("open shared file");
+        // SAFETY: Parent laid out two shared-variant semaphores at these
+        // aligned offsets before spawning us.
+        let s1: &Sema = unsafe { f.sync_var(S1_OFF) };
+        // SAFETY: As above.
+        let s2: &Sema = unsafe { f.sync_var(S2_OFF) };
+        for _ in 0..CROSS_ROUNDS {
+            s1.p();
+            s2.v();
+        }
+        return;
+    }
+
+    sunmt::init();
+    let mut t =
+        PaperTable::new("Figure 6: Thread synchronization time (paper: 59 / 158 / 348 / 301 us)");
+
+    // Row 1: setjmp/longjmp-to-self baseline — one full register save +
+    // restore per iteration.
+    let mut ctx = MachContext::zeroed();
+    let setjmp_us = sunmt_bench::measure_us(200_000, || {
+        sunmt_context::self_switch(&mut ctx);
+    });
+    t.row("Setjmp/longjmp", setjmp_us);
+
+    // Row 2: unbound thread sync. Pin the pool to one LWP, as on the
+    // paper's uniprocessor, so each semaphore operation is a pure
+    // user-level thread switch. Best-of-3 screens out scheduler noise from
+    // other load on the machine.
+    sunmt::set_concurrency(1).expect("setconcurrency");
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::MAX, f64::min);
+    let unbound_us = best(&|| ping_pong(CreateFlags::WAIT) / 2.0);
+    t.row("Unbound thread sync", unbound_us);
+
+    // Row 3: bound thread sync — both threads on their own LWPs; every
+    // block and wake is a kernel operation.
+    let bound_us = best(&|| ping_pong(CreateFlags::WAIT | CreateFlags::BIND_LWP) / 2.0);
+    t.row("Bound thread sync", bound_us);
+
+    // Row 4: cross-process sync through semaphores in a MAP_SHARED file.
+    let cross_us = cross_process() / 2.0;
+    t.row("Cross process thread sync", cross_us);
+
+    t.note(format!(
+        "paper ratios 2.7 / 2.2 / 0.86; measured {:.1} / {:.1} / {:.2}",
+        unbound_us / setjmp_us,
+        bound_us / unbound_us,
+        cross_us / bound_us
+    ));
+    t.print();
+
+    assert!(
+        unbound_us < bound_us,
+        "shape check failed: unbound sync must be cheaper than bound sync"
+    );
+    println!("shape check: OK (setjmp < unbound < bound ~ cross-process)");
+}
+
+/// The paper's measurement loop; returns mean round-trip time in µs (the
+/// caller halves it, as the paper does).
+fn ping_pong(flags: CreateFlags) -> f64 {
+    let s1 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let s2 = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let (a1, a2) = (Arc::clone(&s1), Arc::clone(&s2));
+    let partner = ThreadBuilder::new()
+        .flags(flags)
+        .spawn(move || {
+            for _ in 0..ROUNDS {
+                a1.p();
+                a2.v();
+            }
+        })
+        .expect("partner spawn");
+    // Drive the measurement from a thread of the same binding, so both
+    // halves of the round trip use the same mechanism.
+    let (b1, b2) = (Arc::clone(&s1), Arc::clone(&s2));
+    let result = Arc::new(std::sync::Mutex::new(0.0f64));
+    let r = Arc::clone(&result);
+    let driver = ThreadBuilder::new()
+        .flags(flags)
+        .spawn(move || {
+            let us = sunmt_bench::measure_us(ROUNDS, || {
+                b1.v();
+                b2.p();
+            });
+            *r.lock().expect("result lock") = us;
+        })
+        .expect("driver spawn");
+    sunmt::wait(Some(partner)).expect("wait partner");
+    sunmt::wait(Some(driver)).expect("wait driver");
+    let out = *result.lock().expect("result lock");
+    out
+}
+
+fn cross_process() -> f64 {
+    let path = std::env::temp_dir().join(format!("sunmt-fig6-{}", std::process::id()));
+    let f = SharedFile::create(&path, 4096).expect("create shared file");
+    // SAFETY: Offsets are aligned, in bounds, and zero-valid.
+    let s1: &Sema = unsafe { f.sync_var(S1_OFF) };
+    // SAFETY: As above.
+    let s2: &Sema = unsafe { f.sync_var(S2_OFF) };
+    s1.init(0, SyncType::SHARED);
+    s2.init(0, SyncType::SHARED);
+    let mut child =
+        ipc::spawn_cooperating("fig6-pong", &path, &[]).expect("spawn cooperating process");
+    let us = sunmt_bench::measure_us(CROSS_ROUNDS, || {
+        s1.v();
+        s2.p();
+    });
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "child failed");
+    let _ = std::fs::remove_file(&path);
+    us
+}

@@ -1,0 +1,135 @@
+//! Shared measurement utilities for the figure-regeneration harness.
+//!
+//! Every table/figure binary prints a table in the paper's own format: a
+//! time column in microseconds and a `ratio` column giving each row's time
+//! relative to the previous row (exactly how Figures 5 and 6 are laid out).
+
+#![deny(missing_docs)]
+
+use std::time::Duration;
+
+/// Measures `iters` repetitions of `f` and returns the mean per-iteration
+/// time in microseconds.
+pub fn measure_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0);
+    let start = sunmt_sys::time::monotonic_now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = sunmt_sys::time::monotonic_now() - start;
+    total.as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Runs `f` once and returns the elapsed time.
+pub fn time_once(f: impl FnOnce()) -> Duration {
+    let start = sunmt_sys::time::monotonic_now();
+    f();
+    sunmt_sys::time::monotonic_now() - start
+}
+
+/// A paper-style results table (time + ratio-to-previous-row columns).
+#[derive(Default)]
+pub struct PaperTable {
+    title: String,
+    rows: Vec<(String, f64)>,
+    notes: Vec<String>,
+}
+
+impl PaperTable {
+    /// Creates a table with the figure's caption.
+    pub fn new(title: impl Into<String>) -> PaperTable {
+        PaperTable {
+            title: title.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a measured row.
+    pub fn row(&mut self, label: impl Into<String>, time_us: f64) -> &mut Self {
+        self.rows.push((label.into(), time_us));
+        self
+    }
+
+    /// Appends a free-form footnote.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// The measured values, for assertions in tests.
+    pub fn values(&self) -> Vec<f64> {
+        self.rows.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(
+            out,
+            "{:label_w$}  {:>12}  {:>7}",
+            "", "Time (usec)", "ratio"
+        );
+        let mut prev: Option<f64> = None;
+        for (label, t) in &self.rows {
+            match prev {
+                Some(p) if p > 0.0 => {
+                    let _ = writeln!(out, "{label:label_w$}  {t:>12.2}  {:>7.2}", t / p);
+                }
+                _ => {
+                    let _ = writeln!(out, "{label:label_w$}  {t:>12.2}  {:>7}", "");
+                }
+            }
+            prev = Some(*t);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_us_is_positive_and_sane() {
+        let us = measure_us(100, || {
+            std::hint::black_box(42u64.wrapping_mul(17));
+        });
+        assert!(us >= 0.0);
+        assert!(us < 10_000.0, "a multiply must not take 10ms (got {us})");
+    }
+
+    #[test]
+    fn table_renders_ratios_against_previous_row() {
+        let mut t = PaperTable::new("Figure X: test");
+        t.row("a", 10.0).row("b", 25.0).note("hello");
+        let s = t.render();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("2.50"), "ratio 25/10 missing:\n{s}");
+        assert!(s.contains("note: hello"));
+        assert_eq!(t.values(), vec![10.0, 25.0]);
+    }
+
+    #[test]
+    fn time_once_measures_elapsed() {
+        let d = time_once(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(d >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,245 @@
+//! x86-64 System V register context and the switch primitive.
+
+use core::arch::naked_asm;
+
+/// The saved machine state of a suspended thread.
+///
+/// Exactly the state the System V ABI requires a callee to preserve: the
+/// stack pointer, the callee-saved integer registers, and the floating-point
+/// control state (`mxcsr` control bits and the x87 control word). Everything
+/// else is caller-saved and therefore already spilled by the compiler at any
+/// call site of [`switch_context`].
+///
+/// The program counter is not stored explicitly: it lives on the thread's
+/// stack as the return address that [`switch_context`]'s final `ret` pops —
+/// the same trick as a `setjmp` buffer.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct MachContext {
+    /// Saved stack pointer; `*rsp` holds the resume address.
+    pub rsp: u64,
+    /// Saved frame pointer.
+    pub rbp: u64,
+    /// Callee-saved `rbx`.
+    pub rbx: u64,
+    /// Callee-saved `r12` (holds the entry function in a fresh context).
+    pub r12: u64,
+    /// Callee-saved `r13` (holds the entry argument in a fresh context).
+    pub r13: u64,
+    /// Callee-saved `r14`.
+    pub r14: u64,
+    /// Callee-saved `r15`.
+    pub r15: u64,
+    /// SSE control/status register (control bits are callee-saved).
+    pub mxcsr: u32,
+    /// x87 FPU control word (callee-saved).
+    pub fcw: u16,
+    /// Padding to keep the struct a whole number of words.
+    pub _pad: u16,
+}
+
+impl MachContext {
+    /// Returns an all-zero context, suitable as the *save* side of a switch.
+    pub const fn zeroed() -> MachContext {
+        MachContext {
+            rsp: 0,
+            rbp: 0,
+            rbx: 0,
+            r12: 0,
+            r13: 0,
+            r14: 0,
+            r15: 0,
+            mxcsr: 0,
+            fcw: 0,
+            _pad: 0,
+        }
+    }
+}
+
+// Field offsets used by the assembly below; checked by a test.
+#[cfg(test)]
+const OFF_RSP: usize = 0x00;
+#[cfg(test)]
+const OFF_RBP: usize = 0x08;
+#[cfg(test)]
+const OFF_RBX: usize = 0x10;
+#[cfg(test)]
+const OFF_R12: usize = 0x18;
+#[cfg(test)]
+const OFF_R13: usize = 0x20;
+#[cfg(test)]
+const OFF_R14: usize = 0x28;
+#[cfg(test)]
+const OFF_R15: usize = 0x30;
+#[cfg(test)]
+const OFF_MXCSR: usize = 0x38;
+#[cfg(test)]
+const OFF_FCW: usize = 0x3c;
+
+/// Saves the calling LWP's context into `save` and resumes the context in
+/// `load`.
+///
+/// This is the entire kernel-free thread switch of the paper's Figure 2:
+/// roughly twenty instructions, no mode change, no system call. Control
+/// returns from this function only when some other party switches back into
+/// `save`.
+///
+/// # Safety
+///
+/// * `save` must be valid for writes and `load` for reads, both of a whole
+///   [`MachContext`].
+/// * `load` must contain a context captured by a previous `switch_context`
+///   call, produced by [`prepare`], or be the same pointer as `save`
+///   (self-switch).
+/// * The stack the loaded context runs on must outlive its execution, and no
+///   two LWPs may load the same context concurrently.
+#[unsafe(naked)]
+pub unsafe extern "C" fn switch_context(save: *mut MachContext, load: *const MachContext) {
+    naked_asm!(
+        // Save the current context. The return address of this very call is
+        // at [rsp]; saving rsp is what saves the PC.
+        "mov [rdi + 0x00], rsp",
+        "mov [rdi + 0x08], rbp",
+        "mov [rdi + 0x10], rbx",
+        "mov [rdi + 0x18], r12",
+        "mov [rdi + 0x20], r13",
+        "mov [rdi + 0x28], r14",
+        "mov [rdi + 0x30], r15",
+        "stmxcsr [rdi + 0x38]",
+        "fnstcw [rdi + 0x3c]",
+        // Load the target context.
+        "mov rsp, [rsi + 0x00]",
+        "mov rbp, [rsi + 0x08]",
+        "mov rbx, [rsi + 0x10]",
+        "mov r12, [rsi + 0x18]",
+        "mov r13, [rsi + 0x20]",
+        "mov r14, [rsi + 0x28]",
+        "mov r15, [rsi + 0x30]",
+        "ldmxcsr [rsi + 0x38]",
+        "fldcw [rsi + 0x3c]",
+        // Pop the target's resume address and jump to it.
+        "ret",
+    )
+}
+
+/// First-instruction trampoline of every fresh thread context.
+///
+/// [`prepare`] parks the entry function in `r12` and its argument in `r13`
+/// (both callee-saved, so [`switch_context`] loads them). The trampoline
+/// moves the argument into the first-parameter register, aligns the stack as
+/// the ABI demands, and calls the entry. The entry function must never
+/// return — thread termination is a context switch away from the thread —
+/// so falling through hits `ud2` and faults loudly instead of executing
+/// garbage.
+#[unsafe(naked)]
+unsafe extern "C" fn thread_trampoline() {
+    naked_asm!(
+        // A zero frame pointer terminates unwinder / backtrace walks here.
+        "xor rbp, rbp",
+        "mov rdi, r13",
+        // `call` requires rsp % 16 == 0 at the call site.
+        "and rsp, -16",
+        "call r12",
+        "ud2",
+    )
+}
+
+/// Builds a fresh context that will run `entry(arg)` on the given stack when
+/// first switched to.
+///
+/// `stack_top` is the *high* end of the stack region (x86-64 stacks grow
+/// down).
+///
+/// # Safety
+///
+/// `stack_top` must be the top of a writable region large enough for
+/// `entry`'s execution, and `entry` must never return.
+pub unsafe fn prepare(
+    stack_top: *mut u8,
+    entry: extern "C" fn(usize) -> !,
+    arg: usize,
+) -> MachContext {
+    let mut top = stack_top as usize;
+    // Align, then reserve one slot for the resume address.
+    top &= !15usize;
+    top -= core::mem::size_of::<usize>();
+    // SAFETY: `top` is in the caller-guaranteed writable stack region.
+    unsafe { (top as *mut usize).write(thread_trampoline as *const () as usize) };
+    MachContext {
+        rsp: top as u64,
+        rbp: 0,
+        rbx: 0,
+        r12: entry as usize as u64,
+        r13: arg as u64,
+        r14: 0,
+        r15: 0,
+        // Power-on default control words: round-to-nearest, all exceptions
+        // masked, 64-bit x87 precision.
+        mxcsr: 0x1F80,
+        fcw: 0x037F,
+        _pad: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::mem::offset_of;
+
+    #[test]
+    fn asm_offsets_match_struct_layout() {
+        assert_eq!(offset_of!(MachContext, rsp), OFF_RSP);
+        assert_eq!(offset_of!(MachContext, rbp), OFF_RBP);
+        assert_eq!(offset_of!(MachContext, rbx), OFF_RBX);
+        assert_eq!(offset_of!(MachContext, r12), OFF_R12);
+        assert_eq!(offset_of!(MachContext, r13), OFF_R13);
+        assert_eq!(offset_of!(MachContext, r14), OFF_R14);
+        assert_eq!(offset_of!(MachContext, r15), OFF_R15);
+        assert_eq!(offset_of!(MachContext, mxcsr), OFF_MXCSR);
+        assert_eq!(offset_of!(MachContext, fcw), OFF_FCW);
+    }
+
+    // A two-context ping-pong exercising prepare + switch directly.
+    struct PingPong {
+        main: MachContext,
+        coro: MachContext,
+        log: Vec<u32>,
+    }
+
+    extern "C" fn coro_entry(arg: usize) -> ! {
+        // SAFETY: `arg` is the PingPong the test stack-allocated; it outlives
+        // the coroutine because the test joins before returning.
+        let pp = unsafe { &mut *(arg as *mut PingPong) };
+        pp.log.push(1);
+        // SAFETY: Both contexts are valid; `main` was saved by the switch
+        // that got us here.
+        unsafe { switch_context(&mut pp.coro, &pp.main) };
+        pp.log.push(3);
+        // SAFETY: As above.
+        unsafe { switch_context(&mut pp.coro, &pp.main) };
+        unreachable!("coroutine resumed after final yield");
+    }
+
+    #[test]
+    fn prepared_context_runs_and_yields() {
+        let stack = crate::stack::Stack::new(64 * 1024).expect("stack");
+        let mut pp = Box::new(PingPong {
+            main: MachContext::zeroed(),
+            coro: MachContext::zeroed(),
+            log: Vec::new(),
+        });
+        // SAFETY: The stack outlives the coroutine; coro_entry never returns.
+        pp.coro = unsafe { prepare(stack.top(), coro_entry, &mut *pp as *mut PingPong as usize) };
+
+        pp.log.push(0);
+        let pp_ptr: *mut PingPong = &mut *pp;
+        // SAFETY: Fresh context on a live stack; main is the save slot.
+        unsafe { switch_context(&mut (*pp_ptr).main, &(*pp_ptr).coro) };
+        pp.log.push(2);
+        // SAFETY: `coro` was saved by the coroutine's first yield.
+        unsafe { switch_context(&mut (*pp_ptr).main, &(*pp_ptr).coro) };
+        pp.log.push(4);
+
+        assert_eq!(pp.log, vec![0, 1, 2, 3, 4]);
+    }
+}

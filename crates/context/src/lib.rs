@@ -1,0 +1,71 @@
+//! Machine context switching and thread stacks.
+//!
+//! This crate implements step (a)–(d) of the paper's Figure 2: an LWP
+//! "chooses a thread to run by locating the thread state in process memory",
+//! loads its registers, executes it, and later "saves the state of the
+//! thread back in memory" — all without entering the kernel. The register
+//! save/restore is a handful of instructions of inline assembly
+//! ([`arch::switch_context`]); everything else is safe bookkeeping around it.
+//!
+//! The crate also provides:
+//!
+//! * [`stack::Stack`] — `mmap`'ed thread stacks with a `PROT_NONE` guard
+//!   page, plus [`stack::StackCache`], the "default stack that is cached by
+//!   the threads package" used by the paper's Figure 5 measurement.
+//! * [`Continuation`] — a prepared, not-yet-started thread context.
+//! * [`self_switch`] — a save-and-restore-to-self round trip, the analog of
+//!   the `setjmp()`/`longjmp()` baseline row of the paper's Figure 6.
+
+#![deny(missing_docs)]
+
+pub mod arch;
+pub mod stack;
+
+mod continuation;
+
+pub use continuation::Continuation;
+
+use arch::MachContext;
+
+/// Saves the current machine context and immediately restores it.
+///
+/// This performs exactly one full register save plus one full register
+/// restore and returns normally — the same work as the paper's "simple
+/// routine that does a `setjmp()` and `longjmp()` to itself", used as the
+/// baseline row of Figure 6.
+#[inline]
+pub fn self_switch(ctx: &mut MachContext) {
+    // SAFETY: Saving into and immediately loading from the same context
+    // restores the exact register state that was just captured (including
+    // the stack pointer, whose top-of-stack return address is untouched), so
+    // control returns to our caller normally.
+    unsafe { arch::switch_context(ctx, ctx) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_switch_returns_and_preserves_locals() {
+        let mut ctx = MachContext::zeroed();
+        let a = 0xDEAD_BEEFu64;
+        let b = 42.5f64;
+        self_switch(&mut ctx);
+        assert_eq!(a, 0xDEAD_BEEF);
+        assert_eq!(b, 42.5);
+        // The saved stack pointer must look like a real stack address.
+        assert_ne!(ctx.rsp, 0);
+    }
+
+    #[test]
+    fn self_switch_many_times() {
+        let mut ctx = MachContext::zeroed();
+        let mut counter = 0u32;
+        for _ in 0..10_000 {
+            self_switch(&mut ctx);
+            counter += 1;
+        }
+        assert_eq!(counter, 10_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! Thread stacks: guarded `mmap` regions and the default-stack cache.
+//!
+//! The paper lets the programmer supply a stack (`stack_addr`/`stack_size`
+//! arguments of `thread_create()`) "so as not to interfere with its memory
+//! allocator", or have the library allocate one. Library-allocated stacks
+//! here are dedicated anonymous mappings with a `PROT_NONE` guard page at
+//! the low end, so runaway recursion faults instead of corrupting a
+//! neighbouring thread's stack. The Figure 5 creation-time measurement uses
+//! "a default stack that is cached by the threads package" —
+//! [`StackCache`] is that cache.
+
+use std::sync::Mutex;
+
+use sunmt_sys::mem::{self, Prot, PAGE_SIZE};
+use sunmt_sys::Errno;
+
+/// The default usable stack size for library-allocated stacks.
+pub const DEFAULT_STACK_SIZE: usize = 128 * 1024;
+
+/// An owned, guarded thread stack.
+///
+/// Layout (addresses increasing):
+///
+/// ```text
+/// base                        base+PAGE_SIZE                 top()
+///  |--- guard page (no access) |--- usable stack, grows down --|
+/// ```
+#[derive(Debug)]
+pub struct Stack {
+    base: *mut u8,
+    total: usize,
+    /// Guard bytes at the low end (0 for borrowed regions).
+    guard: usize,
+    /// Whether we own (and must unmap) the region.
+    owned: bool,
+}
+
+// SAFETY: A Stack exclusively owns its mapping; the raw pointer is not
+// aliased and the mapping is valid in any thread of the process.
+unsafe impl Send for Stack {}
+// SAFETY: Shared references to a Stack only read its base/size metadata.
+unsafe impl Sync for Stack {}
+
+impl Stack {
+    /// Maps a new stack with at least `usable` usable bytes below a guard
+    /// page.
+    pub fn new(usable: usize) -> Result<Stack, Errno> {
+        let usable = usable.max(PAGE_SIZE).next_multiple_of(PAGE_SIZE);
+        let total = usable + PAGE_SIZE;
+        let base = mem::map_anonymous(total, Prot::READ_WRITE)?;
+        // SAFETY: `base` is the start of our fresh private mapping and
+        // nothing references it yet.
+        unsafe { mem::protect(base, PAGE_SIZE, Prot::NONE)? };
+        Ok(Stack {
+            base,
+            total,
+            guard: PAGE_SIZE,
+            owned: true,
+        })
+    }
+
+    /// Adopts a caller-supplied memory region as a stack.
+    ///
+    /// This is the paper's `thread_create(stack_addr, stack_size, ...)`
+    /// path: "this allows a language run-time library to control thread
+    /// storage without interference with its memory allocator". The region
+    /// gets no guard page and is never freed by us — "if a stack was
+    /// supplied by the programmer ... it may be reclaimed when
+    /// `thread_wait()` returns successfully".
+    ///
+    /// # Safety
+    ///
+    /// `base..base+len` must be writable, 16-byte-alignable memory that
+    /// outlives every use of the returned stack and is used by nothing else.
+    pub unsafe fn from_raw_parts(base: *mut u8, len: usize) -> Stack {
+        Stack {
+            base,
+            total: len,
+            guard: 0,
+            owned: false,
+        }
+    }
+
+    /// Whether this stack is a library-owned mapping (as opposed to a
+    /// caller-supplied region).
+    pub fn is_owned(&self) -> bool {
+        self.owned
+    }
+
+    /// The high end of the stack — the initial stack pointer (stacks grow
+    /// down on x86-64).
+    pub fn top(&self) -> *mut u8 {
+        // SAFETY: `base + total` is one-past-the-end of the owned mapping,
+        // which is a valid provenance-preserving computation.
+        unsafe { self.base.add(self.total) }
+    }
+
+    /// The low end of the usable region (just above the guard page, if
+    /// any).
+    pub fn limit(&self) -> *mut u8 {
+        // SAFETY: In-bounds offset within the region.
+        unsafe { self.base.add(self.guard) }
+    }
+
+    /// Usable bytes between [`Self::limit`] and [`Self::top`].
+    pub fn usable(&self) -> usize {
+        self.total - self.guard
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        if self.owned {
+            // SAFETY: `base..base+total` is exactly the mapping created in
+            // `new`; dropping the Stack proves no references remain.
+            let _ = unsafe { mem::unmap(self.base, self.total) };
+        }
+    }
+}
+
+/// A free list of default-sized stacks.
+///
+/// Thread exit returns the stack here; thread creation takes one without
+/// entering the kernel, which is what makes unbound thread creation two
+/// orders of magnitude cheaper than LWP creation in Figure 5.
+#[derive(Debug, Default)]
+pub struct StackCache {
+    free: Mutex<Vec<Stack>>,
+}
+
+impl StackCache {
+    /// Creates an empty cache.
+    pub const fn new() -> StackCache {
+        StackCache {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a cached default stack, or maps a fresh one.
+    pub fn take(&self) -> Result<Stack, Errno> {
+        if let Some(s) = self.free.lock().expect("stack cache poisoned").pop() {
+            return Ok(s);
+        }
+        Stack::new(DEFAULT_STACK_SIZE)
+    }
+
+    /// Returns a default-sized stack to the cache; other sizes are unmapped
+    /// and caller-supplied regions are simply released (never freed).
+    pub fn put(&self, stack: Stack) {
+        if stack.is_owned() && stack.usable() == DEFAULT_STACK_SIZE {
+            self.free.lock().expect("stack cache poisoned").push(stack);
+        }
+    }
+
+    /// Pre-populates the cache with `n` stacks (used by benchmarks so the
+    /// measured path never faults a fresh mapping).
+    pub fn prime(&self, n: usize) -> Result<(), Errno> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(Stack::new(DEFAULT_STACK_SIZE)?);
+        }
+        self.free.lock().expect("stack cache poisoned").extend(v);
+        Ok(())
+    }
+
+    /// Number of stacks currently cached.
+    pub fn len(&self) -> usize {
+        self.free.lock().expect("stack cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_writable_to_its_limit() {
+        let s = Stack::new(8 * 1024).expect("stack");
+        assert!(s.usable() >= 8 * 1024);
+        // SAFETY: Both ends of the usable region belong to the mapping.
+        unsafe {
+            s.top().sub(1).write(1);
+            s.limit().write(2);
+            assert_eq!(*s.top().sub(1), 1);
+            assert_eq!(*s.limit(), 2);
+        }
+    }
+
+    #[test]
+    fn sizes_round_up_to_pages() {
+        let s = Stack::new(1).expect("stack");
+        assert_eq!(s.usable(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn cache_round_trips_default_stacks() {
+        let cache = StackCache::new();
+        assert!(cache.is_empty());
+        let s = cache.take().expect("take");
+        let top = s.top() as usize;
+        cache.put(s);
+        assert_eq!(cache.len(), 1);
+        let s2 = cache.take().expect("take cached");
+        assert_eq!(s2.top() as usize, top, "must reuse the cached mapping");
+    }
+
+    #[test]
+    fn cache_discards_odd_sizes() {
+        let cache = StackCache::new();
+        cache.put(Stack::new(4 * 1024).expect("stack"));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn prime_fills_cache() {
+        let cache = StackCache::new();
+        cache.prime(3).expect("prime");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn borrowed_region_is_usable_and_never_freed() {
+        let mut region = vec![0u8; 16 * 1024];
+        let base = region.as_mut_ptr();
+        {
+            // SAFETY: `region` outlives the stack and is used by nothing
+            // else while the stack exists.
+            let s = unsafe { Stack::from_raw_parts(base, region.len()) };
+            assert!(!s.is_owned());
+            assert_eq!(s.usable(), region.len());
+            assert_eq!(s.limit(), base);
+            // SAFETY: In-bounds write to our own buffer via the stack view.
+            unsafe { s.top().sub(1).write(9) };
+        }
+        // The Vec is still intact after the Stack dropped.
+        assert_eq!(region[16 * 1024 - 1], 9);
+    }
+
+    #[test]
+    fn cache_refuses_borrowed_stacks() {
+        let mut region = vec![0u8; DEFAULT_STACK_SIZE];
+        // SAFETY: As above; the stack is consumed by `put` within scope.
+        let s = unsafe { Stack::from_raw_parts(region.as_mut_ptr(), region.len()) };
+        let cache = StackCache::new();
+        cache.put(s);
+        assert!(cache.is_empty());
+    }
+}

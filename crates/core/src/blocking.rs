@@ -1,0 +1,64 @@
+//! Indefinite-wait regions and the deadlock-avoidance contract.
+//!
+//! "When a thread executes a kernel call, it remains bound to the same
+//! lightweight process for the duration of the kernel call. If the kernel
+//! call blocks, that thread and its lightweight process remain blocked.
+//! Other lightweight processes may execute other threads in that program."
+//!
+//! On our substrate a thread *is already* running on its LWP's host thread,
+//! so a genuinely blocking operation (file I/O, `poll`-like waits, channel
+//! receives from outside the process) naturally blocks the LWP and nothing
+//! else. What the kernel cannot do for us is send `SIGWAITING` — so
+//! [`blocking`] wraps the operation in the LWP registry's indefinite-wait
+//! marker, and when the last available LWP blocks this way while runnable
+//! threads exist, the library grows the pool ("cause extra LWPs to be
+//! created as required to avoid deadlock").
+
+/// Runs a blocking ("indefinite, external") operation on the calling LWP.
+///
+/// Use it around anything the paper would call a blocking kernel call —
+/// I/O, waiting on another process, sleeping:
+///
+/// ```
+/// let line = sunmt::blocking(|| {
+///     std::thread::sleep(std::time::Duration::from_millis(1));
+///     "result"
+/// });
+/// assert_eq!(line, "result");
+/// ```
+pub fn blocking<R>(f: impl FnOnce() -> R) -> R {
+    // Make sure the library (strategy + SIGWAITING hook) is live, and that
+    // this host thread is a registered LWP.
+    crate::sched::init();
+    let _ = crate::sched::current_thread();
+    // Pool accounting: if this is the last available pool LWP, grow the
+    // pool so queued unbound threads keep running (deadlock avoidance).
+    crate::sched::pool_enter_blocking();
+    struct Exit;
+    impl Drop for Exit {
+        fn drop(&mut self) {
+            crate::sched::pool_exit_blocking();
+        }
+    }
+    let _exit = Exit;
+    sunmt_lwp::registry::global().indefinite_wait(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_returns_the_closure_value() {
+        assert_eq!(blocking(|| 7 * 6), 42);
+    }
+
+    #[test]
+    fn blocking_counts_as_indefinite_wait() {
+        let before = sunmt_lwp::registry::global().counts();
+        blocking(|| {
+            let during = sunmt_lwp::registry::global().counts();
+            assert!(during.waiting > before.waiting);
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! The run queue of unbound threads.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::thread::Thread;
+
+/// Number of distinct priority levels the dispatcher distinguishes.
+///
+/// Priorities are clamped into `0..LEVELS`; "increasing the specified
+/// priority gives increasing scheduling priority".
+pub const LEVELS: usize = 64;
+
+/// A priority-indexed multilevel queue with an occupancy bitmap.
+///
+/// Pop returns the oldest thread of the highest occupied level — the
+/// dispatch rule the paper's threads package uses for unbound threads.
+pub struct RunQueue {
+    levels: Vec<VecDeque<Arc<Thread>>>,
+    occupied: u64,
+    len: usize,
+}
+
+impl RunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> RunQueue {
+        RunQueue {
+            levels: (0..LEVELS).map(|_| VecDeque::new()).collect(),
+            occupied: 0,
+            len: 0,
+        }
+    }
+
+    /// Clamps an arbitrary non-negative priority into a queue level.
+    pub fn level_for(priority: i32) -> usize {
+        priority.clamp(0, LEVELS as i32 - 1) as usize
+    }
+
+    /// Enqueues `t` at its current priority.
+    pub fn push(&mut self, t: Arc<Thread>) {
+        let lvl = Self::level_for(t.priority());
+        self.levels[lvl].push_back(t);
+        self.occupied |= 1 << lvl;
+        self.len += 1;
+    }
+
+    /// Dequeues the oldest thread of the highest occupied priority.
+    pub fn pop(&mut self) -> Option<Arc<Thread>> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let lvl = 63 - self.occupied.leading_zeros() as usize;
+        let q = &mut self.levels[lvl];
+        let t = q.pop_front().expect("occupancy bit set on empty level");
+        if q.is_empty() {
+            self.occupied &= !(1 << lvl);
+        }
+        self.len -= 1;
+        Some(t)
+    }
+
+    /// Removes a specific thread wherever it is queued; returns whether it
+    /// was present (used by `thread_stop` of a runnable thread).
+    pub fn remove(&mut self, t: &Arc<Thread>) -> bool {
+        for lvl in 0..LEVELS {
+            let q = &mut self.levels[lvl];
+            if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, t)) {
+                q.remove(pos);
+                if q.is_empty() {
+                    self.occupied &= !(1 << lvl);
+                }
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of queued threads.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no thread is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for RunQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::Thread;
+    use crate::types::CreateFlags;
+
+    fn mk(priority: i32) -> Arc<Thread> {
+        Thread::new_for_test(priority, CreateFlags::NONE)
+    }
+
+    #[test]
+    fn pops_highest_priority_first() {
+        let mut q = RunQueue::new();
+        let low = mk(1);
+        let high = mk(10);
+        let mid = mk(5);
+        q.push(Arc::clone(&low));
+        q.push(Arc::clone(&high));
+        q.push(Arc::clone(&mid));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &high));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &mid));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &low));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_a_level() {
+        let mut q = RunQueue::new();
+        let a = mk(3);
+        let b = mk(3);
+        q.push(Arc::clone(&a));
+        q.push(Arc::clone(&b));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &a));
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &b));
+    }
+
+    #[test]
+    fn priorities_clamp_into_range() {
+        assert_eq!(RunQueue::level_for(-5), 0);
+        assert_eq!(RunQueue::level_for(0), 0);
+        assert_eq!(RunQueue::level_for(63), 63);
+        assert_eq!(RunQueue::level_for(1_000_000), 63);
+    }
+
+    #[test]
+    fn remove_unlinks_and_updates_len() {
+        let mut q = RunQueue::new();
+        let a = mk(2);
+        let b = mk(2);
+        q.push(Arc::clone(&a));
+        q.push(Arc::clone(&b));
+        assert!(q.remove(&a));
+        assert!(!q.remove(&a));
+        assert_eq!(q.len(), 1);
+        assert!(Arc::ptr_eq(&q.pop().unwrap(), &b));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,870 @@
+//! The user-level scheduler: unbound threads multiplexed on the LWP pool.
+//!
+//! This module is the paper's Figure 2 made concrete. Each pool LWP runs
+//! [`sched_loop`]: it picks the highest-priority runnable thread from the
+//! run queue (a), switches into its saved context (b), and when the thread
+//! yields, blocks, stops, or exits, control switches back here (c) where the
+//! thread's fate is committed and the next thread is chosen (d). None of
+//! this enters the kernel except to park an LWP that has nothing to run.
+//!
+//! The pool grows three ways, all from the paper: `thread_setconcurrency`,
+//! the `THREAD_NEW_LWP` creation flag, and the `SIGWAITING` mechanism (all
+//! LWPs blocked in indefinite waits while runnable threads exist).
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sunmt_context::arch::{self, MachContext};
+use sunmt_context::stack::{Stack, StackCache};
+use sunmt_lwp::{registry, Lwp, LwpState};
+use sunmt_sync::{Sema, SyncType};
+
+use crate::runq::RunQueue;
+use crate::signals::Disposition;
+use crate::sleepq::SleepTable;
+use crate::thread::Thread;
+use crate::types::{CreateFlags, MtError, Result, ThreadId, ThreadState};
+
+/// Hard ceiling on pool size; a backstop against runaway SIGWAITING growth.
+const POOL_MAX: usize = 256;
+
+/// What a thread asked the scheduler to do with it when it switched out.
+#[derive(Debug, Default)]
+pub(crate) enum Action {
+    /// Nothing pending (scheduler-side resting value).
+    #[default]
+    None,
+    /// Requeue as runnable (voluntary yield).
+    Yield,
+    /// Sleep on the word at `addr` while it still holds `expected`.
+    Sleep {
+        /// Address of the `AtomicU32` wait word.
+        addr: usize,
+        /// Value the word must still hold for the sleep to commit.
+        expected: u32,
+    },
+    /// Transition to `Stopped` without requeueing.
+    Stop,
+    /// The thread exited; reap it.
+    Exit,
+}
+
+/// Process-global state of the threads library.
+pub(crate) struct Mt {
+    /// All live (and zombie) threads by id.
+    pub threads: Mutex<HashMap<u32, Arc<Thread>>>,
+    /// Exited `THREAD_WAIT` threads not yet claimed by a specific waiter.
+    pub zombies: Mutex<VecDeque<ThreadId>>,
+    /// Posted once per zombie routed to the any-waiter pool.
+    pub anywait: Sema,
+    /// Outstanding (unreaped) `THREAD_WAIT` threads.
+    pub waitable: AtomicUsize,
+    pub runq: Mutex<RunQueue>,
+    pub sleepers: Mutex<SleepTable>,
+    /// Pool LWPs currently parked with nothing to run.
+    pub idle: Mutex<Vec<Arc<LwpState>>>,
+    pub stacks: StackCache,
+    next_id: AtomicU32,
+    pub pool_count: AtomicUsize,
+    /// Pool LWPs currently inside a `blocking()` region (their thread is
+    /// "temporarily bound" and the LWP serves nobody else).
+    pub pool_blocked: AtomicUsize,
+    pub pool_target: AtomicUsize,
+    /// Whether the pool is in automatic (SIGWAITING-grown) mode.
+    pub pool_auto: AtomicBool,
+    /// Process-wide signal dispositions (shared by all threads, as the
+    /// paper requires).
+    pub handlers: Mutex<HashMap<u32, Disposition>>,
+    /// Interrupts sent while every thread had them masked "pend on the
+    /// process until a thread unmasks that signal".
+    pub proc_pending: std::sync::atomic::AtomicU64,
+}
+
+static MT: OnceLock<Mt> = OnceLock::new();
+
+/// The library singleton; first use installs the blocking strategy and the
+/// `SIGWAITING` hook.
+pub(crate) fn mt() -> &'static Mt {
+    MT.get_or_init(|| {
+        sunmt_sync::strategy::install(&crate::strategy::MT_STRATEGY);
+        registry::global().set_sigwaiting_hook(sigwaiting_handler);
+        Mt {
+            threads: Mutex::new(HashMap::new()),
+            zombies: Mutex::new(VecDeque::new()),
+            anywait: Sema::new(0, SyncType::DEFAULT),
+            waitable: AtomicUsize::new(0),
+            runq: Mutex::new(RunQueue::new()),
+            sleepers: Mutex::new(SleepTable::new()),
+            idle: Mutex::new(Vec::new()),
+            stacks: StackCache::new(),
+            next_id: AtomicU32::new(1),
+            pool_count: AtomicUsize::new(0),
+            pool_blocked: AtomicUsize::new(0),
+            pool_target: AtomicUsize::new(1),
+            pool_auto: AtomicBool::new(true),
+            handlers: Mutex::new(HashMap::new()),
+            proc_pending: std::sync::atomic::AtomicU64::new(0),
+        }
+    })
+}
+
+/// Ensures the library is initialized (idempotent). Called implicitly by
+/// every public entry point; exposed for programs that want the strategy
+/// installed before their first synchronization operation.
+pub fn init() {
+    let _ = mt();
+}
+
+// ---------------------------------------------------------------------------
+// Per-LWP dispatcher state.
+
+struct LwpCtl {
+    sched_ctx: MachContext,
+    action: Action,
+}
+
+thread_local! {
+    static LWP_CTL: UnsafeCell<LwpCtl> = UnsafeCell::new(LwpCtl {
+        sched_ctx: MachContext::zeroed(),
+        action: Action::None,
+    });
+    static CURRENT: RefCell<Option<Arc<Thread>>> = const { RefCell::new(None) };
+}
+
+/// The thread currently executing on this LWP, if any.
+pub(crate) fn maybe_current() -> Option<Arc<Thread>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The calling thread, adopting the host thread as a bound thread on first
+/// touch — "one lightweight process is created by the kernel when a program
+/// is started, and it starts executing the thread compiled as the main
+/// program".
+pub(crate) fn current_thread() -> Arc<Thread> {
+    if let Some(t) = maybe_current() {
+        return t;
+    }
+    let m = mt();
+    let id = alloc_id(m);
+    let t = Thread::new(
+        id,
+        CreateFlags::NONE,
+        true,
+        0,
+        0,
+        None,
+        crate::tls::freeze_and_len(),
+        ThreadState::Running,
+    );
+    // Register the host thread as an LWP so SIGWAITING accounting sees it.
+    let _ = sunmt_lwp::current();
+    t.dispatch_cpu0_ns
+        .store(sunmt_lwp::cpu_time().as_nanos() as u64, Ordering::Relaxed);
+    m.threads
+        .lock()
+        .expect("thread registry poisoned")
+        .insert(id.0, Arc::clone(&t));
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&t)));
+    ADOPTED.with(|a| a.store(true, Ordering::Relaxed));
+    t
+}
+
+thread_local! {
+    static ADOPTED: std::sync::atomic::AtomicBool =
+        const { std::sync::atomic::AtomicBool::new(false) };
+}
+
+/// Whether `t` is an adopted host thread (the initial thread or a test
+/// harness thread) rather than a library-created one.
+pub(crate) fn is_adopted(t: &Arc<Thread>) -> bool {
+    maybe_current().is_some_and(|c| Arc::ptr_eq(&c, t))
+        && ADOPTED.with(|a| a.load(Ordering::Relaxed))
+}
+
+fn alloc_id(m: &Mt) -> ThreadId {
+    ThreadId(m.next_id.fetch_add(1, Ordering::SeqCst))
+}
+
+// ---------------------------------------------------------------------------
+// Thread creation.
+
+pub(crate) fn create_thread(
+    flags: CreateFlags,
+    stack: Option<Stack>,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> Result<ThreadId> {
+    let m = mt();
+    // "The initial thread priority and signal mask is set to the same
+    // values as its creator."
+    let creator = current_thread();
+    let priority = creator.priority();
+    let sigmask = creator.sigmask.load(Ordering::SeqCst);
+    let id = alloc_id(m);
+    let stopped = flags.contains(CreateFlags::STOP);
+    let tls_len = crate::tls::freeze_and_len();
+    if flags.contains(CreateFlags::WAIT) {
+        m.waitable.fetch_add(1, Ordering::SeqCst);
+    }
+
+    if flags.contains(CreateFlags::BIND_LWP) {
+        let t = Thread::new(
+            id,
+            flags,
+            true,
+            priority,
+            sigmask,
+            None,
+            tls_len,
+            if stopped {
+                ThreadState::Stopped
+            } else {
+                ThreadState::Running
+            },
+        );
+        m.threads
+            .lock()
+            .expect("thread registry poisoned")
+            .insert(id.0, Arc::clone(&t));
+        let t2 = Arc::clone(&t);
+        let lwp = Lwp::spawn_named("sunmt-bound".to_string(), move || bound_main(t2, f))
+            .map_err(MtError::SpawnFailed)?;
+        drop(lwp); // Detach; lifetime is tracked through the registry.
+        return Ok(id);
+    }
+
+    let stack = stack.expect("unbound thread creation requires a stack");
+    let cont = new_continuation(stack, f);
+    let t = Thread::new(
+        id,
+        flags,
+        false,
+        priority,
+        sigmask,
+        Some(cont),
+        tls_len,
+        if stopped {
+            ThreadState::Stopped
+        } else {
+            ThreadState::Runnable
+        },
+    );
+    m.threads
+        .lock()
+        .expect("thread registry poisoned")
+        .insert(id.0, Arc::clone(&t));
+    if flags.contains(CreateFlags::NEW_LWP) {
+        m.pool_target.fetch_add(1, Ordering::SeqCst);
+        add_pool_lwp();
+    }
+    ensure_pool_min();
+    if !stopped {
+        // New threads carry no stop request; enqueue directly.
+        t.set_state(ThreadState::Runnable);
+        push_runnable(t);
+    }
+    Ok(id)
+}
+
+fn new_continuation(
+    stack: Stack,
+    f: Box<dyn FnOnce() + Send + 'static>,
+) -> sunmt_context::Continuation {
+    sunmt_context::Continuation::new(stack, move || {
+        crate::thread::run_thread_body(f);
+        // Exit: hand the carcass to the scheduler; never resumed.
+        deschedule(Action::Exit);
+        unreachable!("exited thread was rescheduled");
+    })
+}
+
+fn bound_main(t: Arc<Thread>, f: Box<dyn FnOnce() + Send + 'static>) {
+    // A bound thread's CPU time is its LWP's clock (which starts near 0
+    // for a fresh kernel thread).
+    t.dispatch_cpu0_ns
+        .store(sunmt_lwp::cpu_time().as_nanos() as u64, Ordering::Relaxed);
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&t)));
+    if t.flags.contains(CreateFlags::STOP) {
+        // Created suspended; the parker's permit makes the
+        // continue-before-park race benign.
+        t.stop_park.park();
+        t.set_state(ThreadState::Running);
+    }
+    crate::thread::run_thread_body(f);
+    finish_thread_common(&t);
+    CURRENT.with(|c| c.borrow_mut().take());
+}
+
+// ---------------------------------------------------------------------------
+// The dispatcher.
+
+thread_local! {
+    /// Whether this host thread is a pool LWP (set once by `sched_loop`).
+    static IS_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the calling host thread is one of the pool's LWPs.
+pub(crate) fn on_pool_lwp() -> bool {
+    IS_POOL.with(|c| c.get())
+}
+
+fn sched_loop() {
+    let me = sunmt_lwp::current();
+    IS_POOL.with(|c| c.set(true));
+    loop {
+        let next = mt().runq.lock().expect("run queue poisoned").pop();
+        if let Some(t) = next {
+            run_one(t);
+            continue;
+        }
+        // Nothing runnable. Surplus LWPs retire here — only when idle, so
+        // a shrunk target never abandons queued work ("LWPs are removed
+        // from the pool" lazily).
+        {
+            let m = mt();
+            let cur = m.pool_count.load(Ordering::SeqCst);
+            if cur > m.pool_target.load(Ordering::SeqCst)
+                && m.pool_count
+                    .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return;
+            }
+        }
+        // Advertise as idle, then re-check to close the race with a
+        // concurrent make_runnable, then park in the kernel.
+        mt().idle
+            .lock()
+            .expect("idle list poisoned")
+            .push(Arc::clone(&me));
+        let next = mt().runq.lock().expect("run queue poisoned").pop();
+        if let Some(t) = next {
+            remove_self_from_idle(&me);
+            run_one(t);
+            continue;
+        }
+        me.parker().park();
+        remove_self_from_idle(&me);
+    }
+}
+
+fn remove_self_from_idle(me: &Arc<LwpState>) {
+    let mut idle = mt().idle.lock().expect("idle list poisoned");
+    if let Some(pos) = idle.iter().position(|x| Arc::ptr_eq(x, me)) {
+        idle.remove(pos);
+    }
+}
+
+fn run_one(t: Arc<Thread>) {
+    t.set_state(ThreadState::Running);
+    // Charge this dispatch interval to the thread (per-thread CPU time) —
+    // but only once somebody asked for accounting; the clock reads would
+    // otherwise dominate the user-level switch cost.
+    if crate::timers::accounting_enabled() {
+        t.dispatch_cpu0_ns
+            .store(sunmt_lwp::cpu_time().as_nanos() as u64, Ordering::Relaxed);
+    } else {
+        t.dispatch_cpu0_ns
+            .store(crate::timers::NOT_SAMPLED, Ordering::Relaxed);
+    }
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&t)));
+    let sched_ctx: *mut MachContext = LWP_CTL.with(|c| {
+        // SAFETY: Only this host thread touches its LwpCtl, and the pointer
+        // is consumed before any reentrant access (the switch itself).
+        unsafe { &mut (*c.get()).sched_ctx as *mut MachContext }
+    });
+    {
+        // SAFETY: The scheduler owns `t` exclusively right now (it was just
+        // popped from the run queue), so the continuation may be resumed;
+        // `sched_ctx` stays valid for the lifetime of this LWP.
+        let cont = unsafe {
+            (*t.cont.get())
+                .as_mut()
+                .expect("unbound thread without context")
+        };
+        // SAFETY: As above; no other LWP can resume this continuation.
+        unsafe { cont.resume(&mut *sched_ctx) };
+    }
+    // The thread switched back: commit its requested fate.
+    let t = CURRENT
+        .with(|c| c.borrow_mut().take())
+        .expect("dispatcher lost its current thread");
+    let d0 = t.dispatch_cpu0_ns.load(Ordering::Relaxed);
+    if d0 != crate::timers::NOT_SAMPLED {
+        let ran = (sunmt_lwp::cpu_time().as_nanos() as u64).saturating_sub(d0);
+        t.cpu_ns.fetch_add(ran, Ordering::Relaxed);
+        t.dispatch_cpu0_ns
+            .store(crate::timers::NOT_SAMPLED, Ordering::Relaxed);
+    }
+    let action = LWP_CTL.with(|c| {
+        // SAFETY: Same single-thread access argument as above.
+        unsafe { std::mem::take(&mut (*c.get()).action) }
+    });
+    match action {
+        Action::Yield => make_runnable(t),
+        Action::Sleep { addr, expected } => commit_sleep(t, addr, expected),
+        Action::Stop => commit_stop(t),
+        Action::Exit => reap(t),
+        Action::None => unreachable!("thread switched out without an action"),
+    }
+}
+
+/// Suspends the calling unbound thread with `action` and runs the
+/// scheduler. Returns when the thread is next dispatched.
+pub(crate) fn deschedule(action: Action) {
+    let t = maybe_current().expect("deschedule outside a thread");
+    debug_assert!(!t.bound, "bound threads block in the kernel, not here");
+    let t_ctx: *mut MachContext = {
+        // SAFETY: The running thread exclusively owns its own continuation.
+        let cont = unsafe {
+            (*t.cont.get())
+                .as_mut()
+                .expect("running thread without context")
+        };
+        cont.context_ptr()
+    };
+    let sched_ctx: *const MachContext = LWP_CTL.with(|c| {
+        // SAFETY: Single-thread access to this LWP's control block.
+        unsafe {
+            (*c.get()).action = action;
+            &(*c.get()).sched_ctx as *const MachContext
+        }
+    });
+    drop(t);
+    // SAFETY: `t_ctx` is this thread's own save slot; `sched_ctx` holds the
+    // context the dispatcher saved when it resumed us, on this same LWP.
+    unsafe { arch::switch_context(t_ctx, sched_ctx) };
+    // Dispatched again (possibly on a different LWP): this is a signal
+    // delivery point.
+    crate::signals::poll();
+}
+
+// ---------------------------------------------------------------------------
+// State transitions (executed on the dispatcher stack, or by third parties).
+
+/// Makes a thread runnable, diverting it to `Stopped` if a stop is pending.
+pub(crate) fn make_runnable(t: Arc<Thread>) {
+    if t.stop_requested.swap(false, Ordering::SeqCst) {
+        commit_stop(t);
+        return;
+    }
+    t.set_state(ThreadState::Runnable);
+    push_runnable(t);
+}
+
+fn push_runnable(t: Arc<Thread>) {
+    mt().runq.lock().expect("run queue poisoned").push(t);
+    wake_one_idle();
+}
+
+fn wake_one_idle() {
+    let m = mt();
+    let lwp = m.idle.lock().expect("idle list poisoned").pop();
+    if let Some(lwp) = lwp {
+        lwp.parker().unpark();
+        return;
+    }
+    // No idle LWP. Grow if the pool is empty, or if every pool LWP is
+    // stuck in a blocking region — otherwise the enqueued thread would
+    // starve until a blocker returned (the deadlock SIGWAITING exists to
+    // avoid).
+    let count = m.pool_count.load(Ordering::SeqCst);
+    if count == 0 || m.pool_blocked.load(Ordering::SeqCst) >= count {
+        add_pool_lwp();
+    }
+}
+
+/// Accounting bracket around a pool LWP entering a blocking region; grows
+/// the pool immediately when the *last* available pool LWP blocks with work
+/// queued (the library-side half of SIGWAITING).
+pub(crate) fn pool_enter_blocking() {
+    if !on_pool_lwp() {
+        return;
+    }
+    let m = mt();
+    let blocked = m.pool_blocked.fetch_add(1, Ordering::SeqCst) + 1;
+    if blocked >= m.pool_count.load(Ordering::SeqCst)
+        && !m.runq.lock().expect("run queue poisoned").is_empty()
+    {
+        add_pool_lwp();
+    }
+}
+
+/// See [`pool_enter_blocking`].
+pub(crate) fn pool_exit_blocking() {
+    if on_pool_lwp() {
+        mt().pool_blocked.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn ensure_pool_min() {
+    let m = mt();
+    if m.pool_count.load(Ordering::SeqCst) == 0 {
+        add_pool_lwp();
+    }
+}
+
+fn commit_sleep(t: Arc<Thread>, addr: usize, expected: u32) {
+    let mut tbl = mt().sleepers.lock().expect("sleep table poisoned");
+    // SAFETY: The park contract (inherited from the futex-shaped
+    // BlockStrategy) requires `addr` to point at a live AtomicU32 for as
+    // long as anyone may sleep on it.
+    let word = unsafe { &*(addr as *const AtomicU32) };
+    if word.load(Ordering::SeqCst) == expected && !t.stop_requested.load(Ordering::SeqCst) {
+        t.set_state(ThreadState::Sleeping);
+        tbl.insert(addr, t);
+    } else {
+        drop(tbl);
+        // The wake (or a stop) already happened; go straight back around.
+        make_runnable(t);
+    }
+}
+
+pub(crate) fn commit_stop(t: Arc<Thread>) {
+    t.set_state(ThreadState::Stopped);
+    t.stop_requested.store(false, Ordering::SeqCst);
+    let waiters = t.stop_waiters.swap(0, Ordering::SeqCst);
+    for _ in 0..waiters {
+        t.stop_event.v();
+    }
+}
+
+fn reap(t: Arc<Thread>) {
+    // Return the stack to the cache ("a default stack that is cached by the
+    // threads package"); borrowed stacks are released untouched.
+    let cont = {
+        // SAFETY: The thread has exited; nothing will resume it, and the
+        // dispatcher owns it exclusively.
+        unsafe { (*t.cont.get()).take() }
+    };
+    if let Some(cont) = cont {
+        // SAFETY: The continuation's closure ran to completion (Exit action).
+        let stack = unsafe { cont.into_stack() };
+        mt().stacks.put(stack);
+    }
+    finish_thread_common(&t);
+}
+
+/// Zombie/wait bookkeeping shared by unbound reap and bound-thread exit.
+pub(crate) fn finish_thread_common(t: &Arc<Thread>) {
+    let m = mt();
+    if t.flags.contains(CreateFlags::WAIT) {
+        t.set_state(ThreadState::Zombie);
+        let zombies = m.zombies.lock().expect("zombie list poisoned");
+        if t.claimed.load(Ordering::SeqCst) {
+            drop(zombies);
+            t.exit_sema.v();
+        } else {
+            let mut zombies = zombies;
+            zombies.push_back(t.id);
+            drop(zombies);
+            m.anywait.v();
+        }
+    } else {
+        t.set_state(ThreadState::Dead);
+        m.threads
+            .lock()
+            .expect("thread registry poisoned")
+            .remove(&t.id.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waiting (thread_wait / waitid).
+
+pub(crate) fn lookup(id: ThreadId) -> Result<Arc<Thread>> {
+    mt().threads
+        .lock()
+        .expect("thread registry poisoned")
+        .get(&id.0)
+        .cloned()
+        .ok_or(MtError::UnknownThread(id))
+}
+
+fn finish_reap(t: &Arc<Thread>) {
+    let m = mt();
+    m.threads
+        .lock()
+        .expect("thread registry poisoned")
+        .remove(&t.id.0);
+    m.waitable.fetch_sub(1, Ordering::SeqCst);
+}
+
+pub(crate) fn wait_specific(id: ThreadId) -> Result<ThreadId> {
+    let t = lookup(id)?;
+    if !t.flags.contains(CreateFlags::WAIT) {
+        return Err(MtError::NotWaitable(id));
+    }
+    if Arc::ptr_eq(&t, &current_thread()) {
+        return Err(MtError::CurrentThread);
+    }
+    {
+        let mut zombies = mt().zombies.lock().expect("zombie list poisoned");
+        if t.claimed.swap(true, Ordering::SeqCst) {
+            return Err(MtError::AlreadyWaited(id));
+        }
+        if let Some(pos) = zombies.iter().position(|z| *z == id) {
+            // Already exited into the any-pool; steal it. Any-waiters
+            // tolerate the resulting surplus permit by re-checking.
+            zombies.remove(pos);
+            drop(zombies);
+            finish_reap(&t);
+            return Ok(id);
+        }
+    }
+    t.exit_sema.p();
+    finish_reap(&t);
+    Ok(id)
+}
+
+pub(crate) fn wait_any() -> Result<ThreadId> {
+    let m = mt();
+    loop {
+        {
+            let zombies = m.zombies.lock().expect("zombie list poisoned");
+            if zombies.is_empty() && m.waitable.load(Ordering::SeqCst) == 0 {
+                return Err(MtError::NothingToWait);
+            }
+        }
+        m.anywait.p();
+        let popped = m.zombies.lock().expect("zombie list poisoned").pop_front();
+        if let Some(id) = popped {
+            let t = m
+                .threads
+                .lock()
+                .expect("thread registry poisoned")
+                .get(&id.0)
+                .cloned()
+                .expect("zombie must still be registered");
+            t.claimed.store(true, Ordering::SeqCst);
+            finish_reap(&t);
+            return Ok(id);
+        }
+        // The permit's zombie was stolen by a specific waiter; retry.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stop / continue.
+
+pub(crate) fn stop_thread(which: Option<ThreadId>) -> Result<()> {
+    match which {
+        None => {
+            stop_self();
+            Ok(())
+        }
+        Some(id) => {
+            let t = lookup(id)?;
+            if Arc::ptr_eq(&t, &current_thread()) {
+                stop_self();
+                Ok(())
+            } else {
+                stop_other(t)
+            }
+        }
+    }
+}
+
+fn stop_self() {
+    let t = current_thread();
+    if t.bound {
+        t.set_state(ThreadState::Stopped);
+        notify_stoppers(&t);
+        t.stop_park.park();
+        t.set_state(ThreadState::Running);
+    } else {
+        deschedule(Action::Stop);
+    }
+}
+
+fn notify_stoppers(t: &Arc<Thread>) {
+    let waiters = t.stop_waiters.swap(0, Ordering::SeqCst);
+    for _ in 0..waiters {
+        t.stop_event.v();
+    }
+}
+
+fn stop_other(t: Arc<Thread>) -> Result<()> {
+    loop {
+        match t.state() {
+            ThreadState::Stopped => return Ok(()),
+            ThreadState::Zombie | ThreadState::Dead => {
+                return Err(MtError::UnknownThread(t.id));
+            }
+            ThreadState::Runnable => {
+                let removed = mt().runq.lock().expect("run queue poisoned").remove(&t);
+                if removed {
+                    commit_stop(Arc::clone(&t));
+                    return Ok(());
+                }
+                // It was dispatched under us; re-observe.
+            }
+            ThreadState::Sleeping => {
+                let removed = mt()
+                    .sleepers
+                    .lock()
+                    .expect("sleep table poisoned")
+                    .remove_thread(&t);
+                if removed {
+                    commit_stop(Arc::clone(&t));
+                    return Ok(());
+                }
+            }
+            ThreadState::Running => {
+                // "thread_stop() does not return until the specified thread
+                // is stopped": flag it and wait for the next scheduling
+                // point to divert it.
+                t.stop_requested.store(true, Ordering::SeqCst);
+                t.stop_waiters.fetch_add(1, Ordering::SeqCst);
+                if t.state() == ThreadState::Stopped {
+                    // commit_stop published `Stopped` before collecting
+                    // waiters, so we may have registered too late; withdraw.
+                    t.stop_waiters.fetch_sub(1, Ordering::SeqCst);
+                    return Ok(());
+                }
+                t.stop_event.p();
+                // Loop to confirm (a racing continue may have restarted it).
+            }
+        }
+    }
+}
+
+pub(crate) fn continue_thread(id: ThreadId) -> Result<()> {
+    let t = lookup(id)?;
+    match t.state() {
+        ThreadState::Stopped => {
+            if t.bound {
+                t.set_state(ThreadState::Running);
+                t.stop_park.unpark();
+            } else {
+                make_runnable(t);
+            }
+            Ok(())
+        }
+        ThreadState::Zombie | ThreadState::Dead => Err(MtError::UnknownThread(id)),
+        // "The effect of thread_continue() may be delayed" — continuing a
+        // thread that is not stopped is a no-op.
+        _ => Ok(()),
+    }
+}
+
+/// Delivery-point check used by bound threads (and the strategy's kernel
+/// path): honor a pending `thread_stop`.
+pub(crate) fn check_stop_current() {
+    let Some(t) = maybe_current() else { return };
+    if t.bound {
+        if t.stop_requested.swap(false, Ordering::SeqCst) {
+            t.set_state(ThreadState::Stopped);
+            notify_stoppers(&t);
+            t.stop_park.park();
+            t.set_state(ThreadState::Running);
+        }
+    } else if t.stop_requested.load(Ordering::SeqCst) {
+        // make_runnable/commit_sleep consume the flag and divert us.
+        deschedule(Action::Yield);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Yield and concurrency control.
+
+pub(crate) fn yield_current() {
+    let t = current_thread();
+    if t.bound {
+        check_stop_current();
+        crate::signals::poll();
+        sunmt_sys::task::sched_yield();
+    } else {
+        deschedule(Action::Yield);
+    }
+}
+
+pub(crate) fn user_unpark(addr: usize, n: usize) {
+    let woken = mt()
+        .sleepers
+        .lock()
+        .expect("sleep table poisoned")
+        .take(addr, n);
+    for t in woken {
+        make_runnable(t);
+    }
+}
+
+pub(crate) fn set_concurrency(n: usize) {
+    let m = mt();
+    let target = if n == 0 {
+        m.pool_auto.store(true, Ordering::SeqCst);
+        1
+    } else {
+        m.pool_auto.store(false, Ordering::SeqCst);
+        n.min(POOL_MAX)
+    };
+    m.pool_target.store(target, Ordering::SeqCst);
+    while m.pool_count.load(Ordering::SeqCst) < target {
+        add_pool_lwp();
+    }
+    // Prod idle LWPs so surplus ones notice the lower target and retire.
+    let idle: Vec<Arc<LwpState>> = m.idle.lock().expect("idle list poisoned").clone();
+    for lwp in idle {
+        lwp.parker().unpark();
+    }
+}
+
+pub(crate) fn pool_size() -> usize {
+    mt().pool_count.load(Ordering::SeqCst)
+}
+
+fn add_pool_lwp() {
+    let m = mt();
+    if m.pool_count.fetch_add(1, Ordering::SeqCst) >= POOL_MAX {
+        m.pool_count.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    match Lwp::spawn_named("sunmt-pool".to_string(), sched_loop) {
+        Ok(lwp) => drop(lwp), // Detached; pool membership is the identity.
+        Err(_) => {
+            m.pool_count.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The `SIGWAITING` handler the library installs: "cause extra LWPs to be
+/// created as required to avoid deadlock".
+fn sigwaiting_handler() {
+    let m = mt();
+    let runnable = m.runq.lock().expect("run queue poisoned").len();
+    let idle = m.idle.lock().expect("idle list poisoned").len();
+    if runnable > 0 && idle == 0 {
+        let count = m.pool_count.load(Ordering::SeqCst);
+        m.pool_target.fetch_max(count + 1, Ordering::SeqCst);
+        add_pool_lwp();
+    }
+}
+
+/// Diagnostic snapshot used by tests and the experiment harness.
+pub fn stats() -> SchedStats {
+    let m = mt();
+    SchedStats {
+        runnable: m.runq.lock().expect("run queue poisoned").len(),
+        sleeping: m.sleepers.lock().expect("sleep table poisoned").len(),
+        pool_lwps: m.pool_count.load(Ordering::SeqCst),
+        idle_lwps: m.idle.lock().expect("idle list poisoned").len(),
+        live_threads: m.threads.lock().expect("thread registry poisoned").len(),
+    }
+}
+
+/// See [`stats`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedStats {
+    /// Threads on the run queue.
+    pub runnable: usize,
+    /// Threads on sleep queues.
+    pub sleeping: usize,
+    /// Pool LWPs serving unbound threads.
+    pub pool_lwps: usize,
+    /// Pool LWPs currently parked idle.
+    pub idle_lwps: usize,
+    /// Registered thread objects (incl. zombies and adopted threads).
+    pub live_threads: usize,
+}

@@ -1,0 +1,122 @@
+//! Sleep queues: which thread is blocked on which synchronization variable.
+//!
+//! "Synchronization variables that are not in shared memory are completely
+//! unknown to the kernel" — an unbound thread blocking on one is recorded
+//! here, in process memory, and woken here, without any kernel involvement.
+//! The table is keyed by the *address* of the variable's wait word, exactly
+//! like the kernel's futex hash but in user space.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::thread::Thread;
+
+/// Address-keyed queues of sleeping threads.
+#[derive(Default)]
+pub struct SleepTable {
+    queues: HashMap<usize, Vec<Arc<Thread>>>,
+    len: usize,
+}
+
+impl SleepTable {
+    /// Creates an empty table.
+    pub fn new() -> SleepTable {
+        SleepTable::default()
+    }
+
+    /// Records `t` as sleeping on the word at `addr`.
+    pub fn insert(&mut self, addr: usize, t: Arc<Thread>) {
+        self.queues.entry(addr).or_default().push(t);
+        self.len += 1;
+    }
+
+    /// Removes up to `n` threads sleeping on `addr`, FIFO.
+    pub fn take(&mut self, addr: usize, n: usize) -> Vec<Arc<Thread>> {
+        let Some(q) = self.queues.get_mut(&addr) else {
+            return Vec::new();
+        };
+        let k = n.min(q.len());
+        let woken: Vec<Arc<Thread>> = q.drain(..k).collect();
+        if q.is_empty() {
+            self.queues.remove(&addr);
+        }
+        self.len -= woken.len();
+        woken
+    }
+
+    /// Removes a specific thread wherever it sleeps; returns whether it was
+    /// found (used when stopping or killing a sleeping thread).
+    pub fn remove_thread(&mut self, t: &Arc<Thread>) -> bool {
+        let mut empty_key = None;
+        for (addr, q) in self.queues.iter_mut() {
+            if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, t)) {
+                q.remove(pos);
+                self.len -= 1;
+                if q.is_empty() {
+                    empty_key = Some(*addr);
+                }
+                if let Some(k) = empty_key {
+                    self.queues.remove(&k);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total number of sleeping threads.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing sleeps.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CreateFlags;
+
+    fn mk() -> Arc<Thread> {
+        Thread::new_for_test(0, CreateFlags::NONE)
+    }
+
+    #[test]
+    fn take_is_fifo_per_address() {
+        let mut tbl = SleepTable::new();
+        let (a, b, c) = (mk(), mk(), mk());
+        tbl.insert(100, Arc::clone(&a));
+        tbl.insert(100, Arc::clone(&b));
+        tbl.insert(200, Arc::clone(&c));
+        let woken = tbl.take(100, 1);
+        assert_eq!(woken.len(), 1);
+        assert!(Arc::ptr_eq(&woken[0], &a));
+        assert_eq!(tbl.len(), 2);
+        let woken = tbl.take(100, 10);
+        assert_eq!(woken.len(), 1);
+        assert!(Arc::ptr_eq(&woken[0], &b));
+        assert!(!tbl.take(200, usize::MAX).is_empty());
+        assert!(tbl.is_empty());
+    }
+
+    #[test]
+    fn take_on_unknown_address_is_empty() {
+        let mut tbl = SleepTable::new();
+        assert!(tbl.take(42, 5).is_empty());
+    }
+
+    #[test]
+    fn remove_thread_finds_it_anywhere() {
+        let mut tbl = SleepTable::new();
+        let (a, b) = (mk(), mk());
+        tbl.insert(1, Arc::clone(&a));
+        tbl.insert(2, Arc::clone(&b));
+        assert!(tbl.remove_thread(&b));
+        assert!(!tbl.remove_thread(&b));
+        assert_eq!(tbl.len(), 1);
+    }
+}

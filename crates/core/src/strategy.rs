@@ -1,0 +1,82 @@
+//! The threads library's blocking strategy.
+//!
+//! Installed into `sunmt-sync` at initialization, this is the mechanism
+//! behind the paper's central performance claim: "if a thread needs to
+//! interact with other threads in the same process, it can do so without
+//! involving the operating system."
+//!
+//! * An **unbound thread** parking on a private variable goes onto the
+//!   user-level sleep queue and its LWP dispatches another thread — no
+//!   system call.
+//! * A **bound thread** (or the adopted initial thread, or a bare LWP with
+//!   no thread identity) parks in the kernel on a futex — the paper's
+//!   "blocking a bound thread blocks its LWP".
+//! * Variables with the `SHARED` variant never reach this strategy:
+//!   `sunmt-sync` routes them straight to the kernel, because "the thread is
+//!   temporarily bound to the LWP that is blocked by the kernel".
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use sunmt_sync::strategy::BlockStrategy;
+use sunmt_sys::futex::{self, Scope};
+
+use crate::sched::{self, Action};
+
+/// The singleton strategy object (installed by [`crate::sched::mt`]).
+pub(crate) struct MtStrategy;
+
+/// See module docs.
+pub(crate) static MT_STRATEGY: MtStrategy = MtStrategy;
+
+fn current_unbound() -> bool {
+    sched::maybe_current().is_some_and(|t| !t.bound)
+}
+
+impl BlockStrategy for MtStrategy {
+    fn park(&self, word: &AtomicU32, expected: u32, shared: bool) {
+        debug_assert!(!shared, "shared variables park in the kernel directly");
+        if current_unbound() {
+            // User-level sleep: the dispatcher commits the sleep after the
+            // context switch, re-checking `word` under the sleep-table lock
+            // so a racing unpark cannot be lost.
+            sched::deschedule(Action::Sleep {
+                addr: word.as_ptr() as usize,
+                expected,
+            });
+        } else {
+            // Kernel sleep (bound thread / adopted thread / bare LWP).
+            if word.load(Ordering::SeqCst) == expected {
+                let _ = futex::wait(word, expected, Scope::Private);
+            }
+            sched::check_stop_current();
+            crate::signals::poll();
+        }
+    }
+
+    fn unpark(&self, word: &AtomicU32, n: u32, shared: bool) {
+        debug_assert!(!shared);
+        // Wake user-level sleepers first (cheap, no kernel), then kernel
+        // waiters. Waking up to `n` of each may over-wake; the futex-shaped
+        // contract permits spurious wakes and all callers re-check.
+        sched::user_unpark(word.as_ptr() as usize, n as usize);
+        let _ = futex::wake(word, n, Scope::Private);
+    }
+
+    fn yield_now(&self) {
+        if current_unbound() {
+            sched::deschedule(Action::Yield);
+        } else {
+            sunmt_sys::task::sched_yield();
+        }
+    }
+
+    fn self_id(&self) -> u32 {
+        // Ownership identity for DEBUG-variant tracking must follow the
+        // *thread*, which may migrate between LWPs; the high bit keeps
+        // thread ids disjoint from raw kernel task ids.
+        match sched::maybe_current() {
+            Some(t) => 0x8000_0000 | t.id.0,
+            None => sunmt_sys::task::gettid(),
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Thread objects and the thread-management half of the paper's Figure 4.
+//!
+//! "Threads are actually represented by data structures in the address
+//! space of a program" — a [`Thread`] is exactly that: the per-thread state
+//! the paper enumerates (thread ID, register state, stack, signal mask,
+//! priority, thread-local storage) plus the library bookkeeping that makes
+//! `thread_wait`, `thread_stop` and signal delivery work.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use sunmt_context::stack::Stack;
+use sunmt_context::Continuation;
+use sunmt_lwp::parker::Parker;
+use sunmt_sync::{Sema, SyncType};
+
+use crate::sched;
+use crate::types::{CreateFlags, MtError, Result, ThreadId, ThreadState};
+
+/// Panic payload used by [`exit`] to unwind the current thread cleanly, so
+/// destructors on the thread's stack run before the thread is reaped.
+pub(crate) struct ExitToken;
+
+/// The in-memory representation of one thread.
+pub(crate) struct Thread {
+    pub(crate) id: ThreadId,
+    pub(crate) flags: CreateFlags,
+    /// Permanently bound to its own LWP (`THREAD_BIND_LWP`), or the adopted
+    /// initial thread.
+    pub(crate) bound: bool,
+    state: AtomicU8,
+    priority: AtomicI32,
+    /// Per-thread signal mask (bit N = signal N blocked).
+    pub(crate) sigmask: AtomicU64,
+    /// Per-thread pending signal set (non-queuing, like UNIX).
+    pub(crate) pending: AtomicU64,
+    /// A `thread_stop` has been issued and takes effect at the next
+    /// scheduling point.
+    pub(crate) stop_requested: AtomicBool,
+    /// Stoppers blocked until this thread actually stops.
+    pub(crate) stop_waiters: AtomicU32,
+    pub(crate) stop_event: Sema,
+    /// Kernel parker a *bound* thread suspends on when stopped.
+    pub(crate) stop_park: Parker,
+    /// Posted on exit for the (single) `thread_wait` waiter.
+    pub(crate) exit_sema: Sema,
+    /// Set once a specific waiter has claimed this thread.
+    pub(crate) claimed: AtomicBool,
+    /// The suspended execution state; `None` for bound threads (they live
+    /// on their LWP's own stack). Touched only by the LWP that owns the
+    /// thread at that moment — see the `Send`/`Sync` safety argument.
+    pub(crate) cont: UnsafeCell<Option<Continuation>>,
+    /// Zero-initialized thread-local storage block.
+    pub(crate) tls: UnsafeCell<Box<[u8]>>,
+    /// CPU time (ns) accumulated over completed dispatches.
+    pub(crate) cpu_ns: AtomicU64,
+    /// The dispatching LWP's CPU clock (ns) when this thread last went on
+    /// CPU; the live dispatch's contribution is `lwp_now - this`.
+    pub(crate) dispatch_cpu0_ns: AtomicU64,
+    /// Per-thread virtual interval timer (SIGVTALRM): next expiry and
+    /// period, in thread-CPU ns. Zero period = disarmed.
+    pub(crate) vt_deadline_ns: AtomicU64,
+    pub(crate) vt_interval_ns: AtomicU64,
+    /// Per-thread profiling interval timer (SIGPROF), same encoding.
+    pub(crate) prof_deadline_ns: AtomicU64,
+    pub(crate) prof_interval_ns: AtomicU64,
+}
+
+// SAFETY: `cont` is accessed only by the single LWP currently running or
+// dispatching the thread (the scheduler hands a thread to at most one LWP at
+// a time), and `tls` only by the thread itself; all other fields are atomics
+// or internally synchronized.
+unsafe impl Send for Thread {}
+// SAFETY: As above.
+unsafe impl Sync for Thread {}
+
+impl Thread {
+    pub(crate) fn new(
+        id: ThreadId,
+        flags: CreateFlags,
+        bound: bool,
+        priority: i32,
+        sigmask: u64,
+        cont: Option<Continuation>,
+        tls_len: usize,
+        initial_state: ThreadState,
+    ) -> Arc<Thread> {
+        Arc::new(Thread {
+            id,
+            flags,
+            bound,
+            state: AtomicU8::new(initial_state as u8),
+            priority: AtomicI32::new(priority),
+            sigmask: AtomicU64::new(sigmask),
+            pending: AtomicU64::new(0),
+            stop_requested: AtomicBool::new(false),
+            stop_waiters: AtomicU32::new(0),
+            stop_event: Sema::new(0, SyncType::DEFAULT),
+            stop_park: Parker::new(),
+            exit_sema: Sema::new(0, SyncType::DEFAULT),
+            claimed: AtomicBool::new(false),
+            cont: UnsafeCell::new(cont),
+            tls: UnsafeCell::new(vec![0u8; tls_len].into_boxed_slice()),
+            cpu_ns: AtomicU64::new(0),
+            dispatch_cpu0_ns: AtomicU64::new(0),
+            vt_deadline_ns: AtomicU64::new(0),
+            vt_interval_ns: AtomicU64::new(0),
+            prof_deadline_ns: AtomicU64::new(0),
+            prof_interval_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// A minimal thread object for data-structure unit tests.
+    #[cfg(test)]
+    pub(crate) fn new_for_test(priority: i32, flags: CreateFlags) -> Arc<Thread> {
+        Self::new(
+            ThreadId(0),
+            flags,
+            false,
+            priority,
+            0,
+            None,
+            0,
+            ThreadState::Runnable,
+        )
+    }
+
+    pub(crate) fn state(&self) -> ThreadState {
+        ThreadState::from_u8(self.state.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn set_state(&self, s: ThreadState) {
+        self.state.store(s as u8, Ordering::SeqCst);
+    }
+
+    pub(crate) fn priority(&self) -> i32 {
+        self.priority.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_priority_raw(&self, p: i32) -> i32 {
+        self.priority.swap(p, Ordering::SeqCst)
+    }
+}
+
+impl core::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Thread")
+            .field("id", &self.id)
+            .field("state", &self.state())
+            .field("bound", &self.bound)
+            .field("priority", &self.priority())
+            .finish()
+    }
+}
+
+/// Configures and creates threads — the Rust spelling of the paper's
+/// `thread_create(stack_addr, stack_size, func, arg, flags)`.
+///
+/// ```
+/// use sunmt::{ThreadBuilder, CreateFlags};
+/// let id = ThreadBuilder::new()
+///     .flags(CreateFlags::WAIT)
+///     .spawn(|| { /* thread body */ })
+///     .unwrap();
+/// sunmt::wait(Some(id)).unwrap();
+/// ```
+#[derive(Default)]
+pub struct ThreadBuilder {
+    flags: CreateFlags,
+    stack_size: Option<usize>,
+}
+
+impl ThreadBuilder {
+    /// A builder with no flags and the default (cached) stack.
+    pub fn new() -> ThreadBuilder {
+        ThreadBuilder::default()
+    }
+
+    /// Sets the or-able creation flags.
+    pub fn flags(mut self, flags: CreateFlags) -> ThreadBuilder {
+        self.flags = flags;
+        self
+    }
+
+    /// Requests a non-default stack size (the paper's nonzero
+    /// `stack_size` with NULL `stack_addr`: "the stack is allocated from
+    /// the heap ... of the specified size").
+    pub fn stack_size(mut self, bytes: usize) -> ThreadBuilder {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Creates the thread; returns its id.
+    ///
+    /// "The initial thread priority and signal mask is set to the same
+    /// values as its creator. When the new thread is started, it begins
+    /// execution by a procedure call to `func(arg)`. If `func` returns, the
+    /// thread exits."
+    pub fn spawn<F>(self, f: F) -> Result<ThreadId>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let stack = if self.flags.contains(CreateFlags::BIND_LWP) {
+            None // Bound threads run on their LWP's own stack.
+        } else {
+            Some(match self.stack_size {
+                None => sched::mt().stacks.take().map_err(spawn_err)?,
+                Some(n) => Stack::new(n).map_err(spawn_err)?,
+            })
+        };
+        sched::create_thread(self.flags, stack, Box::new(f))
+    }
+
+    /// Creates the thread on a caller-supplied stack (the paper's
+    /// non-NULL `stack_addr` path).
+    ///
+    /// # Safety
+    ///
+    /// `base..base+len` must be writable memory, unused by anything else,
+    /// that outlives the thread. "If a stack was supplied by the programmer
+    /// when the thread was created, it may be reclaimed when
+    /// `thread_wait()` returns successfully" — and only then.
+    pub unsafe fn spawn_on_stack<F>(self, base: *mut u8, len: usize, f: F) -> Result<ThreadId>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        assert!(
+            !self.flags.contains(CreateFlags::BIND_LWP),
+            "bound threads run on their LWP's stack; a supplied stack is meaningless"
+        );
+        // SAFETY: Forwarded verbatim from the caller's contract.
+        let stack = unsafe { Stack::from_raw_parts(base, len) };
+        sched::create_thread(self.flags, Some(stack), Box::new(f))
+    }
+}
+
+fn spawn_err(e: sunmt_sys::Errno) -> MtError {
+    MtError::SpawnFailed(std::io::Error::other(format!("stack allocation: {e}")))
+}
+
+/// Creates an unbound, immediately runnable thread with default flags.
+pub fn spawn<F>(f: F) -> Result<ThreadId>
+where
+    F: FnOnce() + Send + 'static,
+{
+    ThreadBuilder::new().spawn(f)
+}
+
+/// `thread_exit()`: terminates the current thread.
+///
+/// Unwinds the thread's stack (running destructors) before the thread is
+/// reaped, then never returns.
+///
+/// # Panics
+///
+/// Panics (fatally) if called from the adopted initial thread: the host
+/// process's main thread cannot be individually terminated on our substrate;
+/// return from `main` or use `std::process::exit` instead. This divergence
+/// is recorded in DESIGN.md.
+pub fn exit() -> ! {
+    let t = sched::current_thread();
+    assert!(
+        !(t.bound && sched::is_adopted(&t)),
+        "thread_exit() from the initial thread is not supported"
+    );
+    panic::resume_unwind(Box::new(ExitToken));
+}
+
+/// The body wrapper every created thread runs: delivers startup-pending
+/// signals, runs `f`, and treats an [`ExitToken`] unwind as a clean
+/// `thread_exit()`. A genuine panic aborts the process — the paper's
+/// equivalent (an unhandled trap) kills the whole process too.
+pub(crate) fn run_thread_body(f: Box<dyn FnOnce() + Send>) {
+    crate::signals::poll();
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+        if !payload.is::<ExitToken>() {
+            eprintln!("sunmt: thread panicked; aborting process");
+            // Propagate the message if printable.
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                eprintln!("sunmt: panic payload: {s}");
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                eprintln!("sunmt: panic payload: {s}");
+            }
+            std::process::abort();
+        }
+    }
+}
+
+/// `thread_get_id()`: the calling thread's id.
+pub fn get_id() -> ThreadId {
+    sched::current_thread().id
+}
+
+/// `thread_wait()`: blocks until the specified thread (or, with `None`, any
+/// `THREAD_WAIT` thread) exits; returns the exited thread's id.
+///
+/// "It is an error to wait for a thread that was created without the
+/// `THREAD_WAIT` attribute, to wait for the current thread, or to have
+/// multiple `thread_wait()`s on the same thread."
+pub fn wait(which: Option<ThreadId>) -> Result<ThreadId> {
+    match which {
+        Some(id) => sched::wait_specific(id),
+        None => sched::wait_any(),
+    }
+}
+
+/// `thread_stop()`: prevents the specified thread from running (with
+/// `None`, stops the calling thread immediately).
+///
+/// "The effect of `thread_continue()` may be delayed, but `thread_stop()`
+/// does not return until the specified thread is stopped." Threads stop at
+/// scheduling points (yield, block, unblock, signal poll); compute-only
+/// loops that never enter the library are not asynchronously preemptible on
+/// this substrate (see DESIGN.md).
+pub fn stop(which: Option<ThreadId>) -> Result<()> {
+    sched::stop_thread(which)
+}
+
+/// `thread_continue()`: initially starts a `THREAD_STOP`-created thread, or
+/// restarts one stopped by [`stop`].
+pub fn cont(id: ThreadId) -> Result<()> {
+    sched::continue_thread(id)
+}
+
+/// `thread_priority()`: sets the priority of the specified thread (`None`
+/// for the calling thread) and returns the old priority.
+///
+/// "The priority must be greater than or equal to zero. Increasing the
+/// specified priority gives increasing scheduling priority."
+pub fn set_priority(which: Option<ThreadId>, priority: i32) -> Result<i32> {
+    if priority < 0 {
+        return Err(MtError::BadPriority(priority));
+    }
+    let t = match which {
+        Some(id) => sched::lookup(id)?,
+        None => sched::current_thread(),
+    };
+    Ok(t.set_priority_raw(priority))
+}
+
+/// Voluntarily yields the processor to another runnable thread.
+///
+/// For an unbound thread this is a pure user-level reschedule; for bound
+/// threads it yields the LWP to the kernel.
+pub fn yield_now() {
+    sched::yield_current();
+}
+
+/// `thread_setconcurrency()`: sets "the degree of real concurrency (i.e.
+/// the number of LWPs) that unbound threads in the application require".
+///
+/// "If `n` is zero (the default), the library automatically creates as many
+/// LWPs for use in scheduling unbound threads as required to avoid
+/// deadlock" (the `SIGWAITING` mechanism). "If `n` is less than the current
+/// maximum, LWPs are removed from the pool" (lazily, as they go idle).
+pub fn set_concurrency(n: usize) -> Result<()> {
+    sched::set_concurrency(n);
+    Ok(())
+}
+
+/// The number of pool LWPs currently serving unbound threads (diagnostic).
+pub fn concurrency() -> usize {
+    sched::pool_size()
+}

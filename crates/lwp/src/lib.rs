@@ -1,0 +1,267 @@
+//! Lightweight processes (LWPs).
+//!
+//! "A UNIX process consists mainly of an address space and a set of
+//! lightweight processes (LWPs) that share that address space. Each LWP can
+//! be thought of as a virtual CPU which is available for executing code or
+//! system calls."
+//!
+//! On our substrate the kernel-supported threads of control are host kernel
+//! tasks: each [`Lwp`] wraps one, is separately dispatched by the host
+//! kernel, performs independent system calls, and runs in parallel on a
+//! multiprocessor — exactly the properties the paper requires of LWPs. This
+//! crate adds the process-level bookkeeping the paper's kernel keeps for
+//! them:
+//!
+//! * identity ([`LwpId`], the kernel task id),
+//! * kernel-level suspension ([`parker::Parker`]),
+//! * per-LWP CPU-time accounting and virtual-time interval timers
+//!   ([`timer`]),
+//! * the LWP registry with `SIGWAITING` detection ([`registry`]).
+//!
+//! Scheduling class and priority (`priocntl`, gang scheduling, CPU binding)
+//! are kernel policies we cannot impose on the host; they are reproduced
+//! faithfully in the deterministic `sunmt-simkernel` crate instead.
+
+#![deny(missing_docs)]
+
+pub mod parker;
+pub mod registry;
+pub mod timer;
+
+use std::cell::OnceCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parker::Parker;
+
+/// The kernel-visible identity of an LWP.
+///
+/// "There is no system-wide name space for threads or lightweight
+/// processes" — ids are meaningful only for bookkeeping within the process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LwpId(pub u32);
+
+/// Shared, kernel-adjacent state of one LWP.
+#[derive(Debug)]
+pub struct LwpState {
+    id: LwpId,
+    park: Parker,
+}
+
+impl LwpState {
+    /// The LWP's id.
+    pub fn id(&self) -> LwpId {
+        self.id
+    }
+
+    /// The LWP's kernel parker (used to suspend it while it has no thread
+    /// to run, and to block bound threads).
+    pub fn parker(&self) -> &Parker {
+        &self.park
+    }
+}
+
+/// TLS cell owning this host thread's LWP identity. Its drop at host-thread
+/// exit balances the registration made when the identity was created, so
+/// the registry's `total` tracks *live* LWPs even for adopted threads.
+struct Registered(Arc<LwpState>);
+
+impl Drop for Registered {
+    fn drop(&mut self) {
+        registry::global().lwp_exited();
+    }
+}
+
+thread_local! {
+    static CURRENT: OnceCell<Registered> = const { OnceCell::new() };
+}
+
+fn make_state() -> Arc<LwpState> {
+    Arc::new(LwpState {
+        id: LwpId(sunmt_sys::task::gettid()),
+        park: Parker::new(),
+    })
+}
+
+/// The calling LWP's state.
+///
+/// A host thread that was not created through [`Lwp::spawn`] (e.g. the
+/// initial thread — "one lightweight process is created by the kernel when a
+/// program is started") is adopted and registered on first call, so the
+/// degenerate single-LWP process behaves like a standard UNIX process
+/// without setup. The registration is dropped when the host thread exits.
+pub fn current() -> Arc<LwpState> {
+    CURRENT.with(|c| {
+        Arc::clone(
+            &c.get_or_init(|| {
+                registry::global().lwp_started();
+                Registered(make_state())
+            })
+            .0,
+        )
+    })
+}
+
+/// The calling LWP's consumed CPU time ("user and system CPU usage" is kept
+/// per LWP).
+pub fn cpu_time() -> Duration {
+    sunmt_sys::time::thread_cpu_now()
+}
+
+/// The whole process's consumed CPU time — "the sum of the resource usage
+/// ... for all LWPs in the process is available via `getrusage()`".
+pub fn process_cpu_time() -> Duration {
+    sunmt_sys::time::clock_gettime(sunmt_sys::time::Clock::ProcessCpu)
+        .expect("CLOCK_PROCESS_CPUTIME_ID must exist")
+        .to_duration()
+}
+
+/// An owned kernel-supported thread of control.
+pub struct Lwp {
+    state: Arc<LwpState>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Lwp {
+    /// Creates a new LWP executing `f`.
+    ///
+    /// The LWP is registered with the global [`registry`] before it starts,
+    /// so `SIGWAITING` accounting never undercounts the pool.
+    pub fn spawn<F>(f: F) -> std::io::Result<Lwp>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        Self::spawn_named("lwp".to_string(), f)
+    }
+
+    /// [`Lwp::spawn`] with a diagnostic name.
+    pub fn spawn_named<F>(name: String, f: F) -> std::io::Result<Lwp>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // Register from the parent so SIGWAITING accounting never
+        // undercounts; the child's `Registered` TLS cell balances it when
+        // the LWP exits (even by panic).
+        registry::global().lwp_started();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Arc<LwpState>>(1);
+        let spawned = std::thread::Builder::new().name(name).spawn(move || {
+            let state = make_state();
+            let _ = tx.send(Arc::clone(&state));
+            CURRENT.with(|c| {
+                let _ = c.set(Registered(state));
+            });
+            f();
+        });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                registry::global().lwp_exited();
+                return Err(e);
+            }
+        };
+        let state = rx
+            .recv()
+            .expect("LWP must publish its state before running user code");
+        Ok(Lwp { state, handle })
+    }
+
+    /// This LWP's id.
+    pub fn id(&self) -> LwpId {
+        self.state.id()
+    }
+
+    /// Shared handle to this LWP's state.
+    pub fn state(&self) -> &Arc<LwpState> {
+        &self.state
+    }
+
+    /// Waits for the LWP to finish.
+    ///
+    /// Panics raised by the LWP's closure are propagated, like
+    /// `std::thread::JoinHandle::join` misuse, as an `Err`-less panic —
+    /// LWP code in this workspace treats escaping panics as fatal.
+    pub fn join(self) {
+        if self.handle.join().is_err() {
+            panic!("LWP panicked");
+        }
+    }
+}
+
+impl core::fmt::Debug for Lwp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Lwp").field("id", &self.state.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spawned_lwp_runs_and_joins() {
+        let ran = Arc::new(AtomicU32::new(0));
+        let r2 = Arc::clone(&ran);
+        let lwp = Lwp::spawn(move || {
+            r2.store(1, Ordering::SeqCst);
+        })
+        .expect("spawn");
+        lwp.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn lwp_ids_are_distinct_kernel_tasks() {
+        let a = Lwp::spawn(|| {}).expect("spawn");
+        let b = Lwp::spawn(|| {}).expect("spawn");
+        assert_ne!(a.id(), b.id());
+        a.join();
+        b.join();
+    }
+
+    #[test]
+    fn current_adopts_the_calling_thread() {
+        let me = current();
+        assert_eq!(me.id().0, sunmt_sys::task::gettid());
+        // Stable across calls.
+        assert_eq!(current().id(), me.id());
+    }
+
+    #[test]
+    fn spawn_registers_with_the_global_registry() {
+        let before = registry::global().counts().total;
+        let lwp = Lwp::spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+        })
+        .expect("spawn");
+        assert!(registry::global().counts().total > before);
+        lwp.join();
+    }
+
+    #[test]
+    fn parker_reaches_the_target_lwp() {
+        let lwp = Lwp::spawn(|| {
+            current().parker().park();
+        })
+        .expect("spawn");
+        std::thread::sleep(Duration::from_millis(10));
+        lwp.state().parker().unpark();
+        lwp.join();
+    }
+
+    #[test]
+    fn process_cpu_covers_all_lwps() {
+        let before = process_cpu_time();
+        let lwp = Lwp::spawn(|| {
+            let start = cpu_time();
+            let mut x = 1u64;
+            while cpu_time() - start < Duration::from_millis(20) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(x);
+        })
+        .expect("spawn");
+        lwp.join();
+        assert!(process_cpu_time() - before >= Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-LWP virtual-time interval timers.
+//!
+//! "Each LWP has two private interval timers; one decrements in LWP user
+//! time and the other decrements in both LWP user time and when the system
+//! is running on behalf of the LWP. When these interval timers expire either
+//! `SIGVTALRM` or `SIGPROF`, as appropriate, is sent to the LWP that owns
+//! the interval timer."
+//!
+//! The host gives us one virtual clock per kernel task
+//! (`CLOCK_THREAD_CPUTIME_ID`, covering user+system time), so both paper
+//! timers are driven from it. Delivery is poll-based: the threads library
+//! checks [`VirtualTimer::poll`] at its scheduling points and converts an
+//! expiry into a virtual signal; that substitution (kernel push → library
+//! poll at switch points) is recorded in DESIGN.md.
+
+use std::time::Duration;
+
+/// Which paper timer a [`VirtualTimer`] models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerKind {
+    /// Decrements in LWP user time; expiry delivers `SIGVTALRM`.
+    Virtual,
+    /// Decrements in LWP user + system time; expiry delivers `SIGPROF`.
+    Profiling,
+}
+
+/// A per-LWP interval timer over the LWP's consumed CPU time.
+///
+/// Must be polled from the LWP that owns it — virtual time is per kernel
+/// task.
+#[derive(Debug)]
+pub struct VirtualTimer {
+    kind: TimerKind,
+    interval: Duration,
+    next_expiry: Duration,
+    armed: bool,
+}
+
+impl VirtualTimer {
+    /// Creates a disarmed timer.
+    pub fn new(kind: TimerKind) -> VirtualTimer {
+        VirtualTimer {
+            kind,
+            interval: Duration::ZERO,
+            next_expiry: Duration::ZERO,
+            armed: false,
+        }
+    }
+
+    /// Arms the timer to expire every `interval` of this LWP's CPU time.
+    pub fn arm(&mut self, interval: Duration) {
+        assert!(!interval.is_zero(), "interval timers need a nonzero period");
+        self.interval = interval;
+        self.next_expiry = crate::cpu_time() + interval;
+        self.armed = true;
+    }
+
+    /// Disarms the timer.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether the timer is armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The timer's kind (which signal an expiry should deliver).
+    pub fn kind(&self) -> TimerKind {
+        self.kind
+    }
+
+    /// Returns how many whole intervals have expired since the last poll,
+    /// re-arming for the next interval. Zero when disarmed or not yet due.
+    pub fn poll(&mut self) -> u32 {
+        if !self.armed {
+            return 0;
+        }
+        let now = crate::cpu_time();
+        if now < self.next_expiry {
+            return 0;
+        }
+        let over = now - self.next_expiry;
+        let missed = 1 + (over.as_nanos() / self.interval.as_nanos()) as u32;
+        self.next_expiry += self.interval * missed;
+        missed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burn(d: Duration) {
+        let start = crate::cpu_time();
+        let mut x = 0u64;
+        while crate::cpu_time() - start < d {
+            x = x.wrapping_mul(2654435761).wrapping_add(3);
+        }
+        std::hint::black_box(x);
+    }
+
+    #[test]
+    fn disarmed_timer_never_fires() {
+        let mut t = VirtualTimer::new(TimerKind::Virtual);
+        assert!(!t.is_armed());
+        burn(Duration::from_millis(2));
+        assert_eq!(t.poll(), 0);
+    }
+
+    #[test]
+    fn timer_fires_after_cpu_time_not_wall_time() {
+        let mut t = VirtualTimer::new(TimerKind::Profiling);
+        t.arm(Duration::from_millis(10));
+        // Sleeping consumes no virtual time.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(t.poll(), 0, "wall-clock sleep must not expire the timer");
+        burn(Duration::from_millis(12));
+        assert!(t.poll() >= 1);
+    }
+
+    #[test]
+    fn missed_intervals_accumulate() {
+        let mut t = VirtualTimer::new(TimerKind::Virtual);
+        t.arm(Duration::from_millis(2));
+        burn(Duration::from_millis(9));
+        let fired = t.poll();
+        assert!(fired >= 3, "expected >=3 expiries, got {fired}");
+        // After the catch-up, the timer is re-armed in the future.
+        assert_eq!(t.poll(), 0);
+    }
+
+    #[test]
+    fn disarm_stops_future_expiries() {
+        let mut t = VirtualTimer::new(TimerKind::Virtual);
+        t.arm(Duration::from_millis(1));
+        t.disarm();
+        burn(Duration::from_millis(3));
+        assert_eq!(t.poll(), 0);
+    }
+}

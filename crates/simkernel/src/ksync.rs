@@ -1,0 +1,164 @@
+//! Kernel-level synchronization objects LWPs can block on.
+//!
+//! These model the kernel side of the paper's synchronization story: a
+//! variable the kernel knows about (e.g. a `SYNC_SHARED` mutex) blocks the
+//! *LWP*. Objects are identified by small indices; programs reference them
+//! through [`crate::Op::KmutexLock`] / [`crate::Op::KmutexUnlock`].
+
+use std::collections::VecDeque;
+
+use crate::lwp::SimLwpId;
+
+/// One kernel mutex: an owner and a FIFO sleep queue.
+#[derive(Default, Debug)]
+pub struct Kmutex {
+    owner: Option<SimLwpId>,
+    waiters: VecDeque<SimLwpId>,
+}
+
+impl Kmutex {
+    /// Tries to acquire for `lwp`; returns whether it now owns the mutex.
+    /// On failure the LWP is queued.
+    pub fn lock(&mut self, lwp: SimLwpId) -> bool {
+        if self.owner.is_none() {
+            self.owner = Some(lwp);
+            true
+        } else {
+            self.waiters.push_back(lwp);
+            false
+        }
+    }
+
+    /// Releases the mutex; returns the next owner (already installed), who
+    /// must be made runnable by the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lwp` is not the owner — kernel mutexes are strictly
+    /// bracketing, like the paper's user-level ones.
+    pub fn unlock(&mut self, lwp: SimLwpId) -> Option<SimLwpId> {
+        assert_eq!(self.owner, Some(lwp), "kmutex unlock by non-owner");
+        self.owner = self.waiters.pop_front();
+        self.owner
+    }
+
+    /// Current owner, if any.
+    pub fn owner(&self) -> Option<SimLwpId> {
+        self.owner
+    }
+
+    /// Number of LWPs queued.
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Removes a (possibly exited) LWP from the wait queue.
+    pub fn remove_waiter(&mut self, lwp: SimLwpId) -> bool {
+        if let Some(pos) = self.waiters.iter().position(|w| *w == lwp) {
+            self.waiters.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A kernel barrier: blocks arriving LWPs until `needed` have arrived,
+/// then releases the whole cohort — the fine-grain synchronization pattern
+/// gang scheduling exists to serve.
+#[derive(Debug)]
+pub struct Kbarrier {
+    needed: usize,
+    waiting: Vec<SimLwpId>,
+}
+
+impl Kbarrier {
+    /// A barrier for `needed` arrivals per round.
+    pub fn new(needed: usize) -> Kbarrier {
+        assert!(needed >= 1);
+        Kbarrier {
+            needed,
+            waiting: Vec::new(),
+        }
+    }
+
+    /// Registers an arrival. Returns the released cohort when this arrival
+    /// completes the round (the arriver itself is *not* in the list — it
+    /// never blocked), or `None` if the arriver must block.
+    pub fn arrive(&mut self, lwp: SimLwpId) -> Option<Vec<SimLwpId>> {
+        if self.waiting.len() + 1 >= self.needed {
+            Some(std::mem::take(&mut self.waiting))
+        } else {
+            self.waiting.push(lwp);
+            None
+        }
+    }
+
+    /// LWPs currently blocked at the barrier.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_cohort_on_last_arrival() {
+        let mut b = Kbarrier::new(3);
+        assert_eq!(b.arrive(SimLwpId(1)), None);
+        assert_eq!(b.arrive(SimLwpId(2)), None);
+        assert_eq!(b.waiting(), 2);
+        let released = b.arrive(SimLwpId(3)).expect("cohort");
+        assert_eq!(released, vec![SimLwpId(1), SimLwpId(2)]);
+        assert_eq!(b.waiting(), 0);
+        // Next round starts clean.
+        assert_eq!(b.arrive(SimLwpId(1)), None);
+    }
+
+    #[test]
+    fn unary_barrier_never_blocks() {
+        let mut b = Kbarrier::new(1);
+        assert_eq!(b.arrive(SimLwpId(9)), Some(vec![]));
+    }
+
+    #[test]
+    fn uncontended_lock_acquires() {
+        let mut m = Kmutex::default();
+        assert!(m.lock(SimLwpId(1)));
+        assert_eq!(m.owner(), Some(SimLwpId(1)));
+        assert_eq!(m.unlock(SimLwpId(1)), None);
+        assert_eq!(m.owner(), None);
+    }
+
+    #[test]
+    fn contended_lock_queues_fifo() {
+        let mut m = Kmutex::default();
+        assert!(m.lock(SimLwpId(1)));
+        assert!(!m.lock(SimLwpId(2)));
+        assert!(!m.lock(SimLwpId(3)));
+        assert_eq!(m.waiter_count(), 2);
+        assert_eq!(m.unlock(SimLwpId(1)), Some(SimLwpId(2)));
+        assert_eq!(m.unlock(SimLwpId(2)), Some(SimLwpId(3)));
+        assert_eq!(m.unlock(SimLwpId(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn unlock_by_non_owner_panics() {
+        let mut m = Kmutex::default();
+        m.lock(SimLwpId(1));
+        m.unlock(SimLwpId(2));
+    }
+
+    #[test]
+    fn remove_waiter_unlinks() {
+        let mut m = Kmutex::default();
+        m.lock(SimLwpId(1));
+        m.lock(SimLwpId(2));
+        assert!(m.remove_waiter(SimLwpId(2)));
+        assert!(!m.remove_waiter(SimLwpId(2)));
+        assert_eq!(m.unlock(SimLwpId(1)), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! `/proc`-style introspection of the simulated kernel.
+//!
+//! "The `/proc` file system has been extended to reflect the changes to the
+//! process model ... a kernel process model interface can provide access
+//! only to kernel-supported threads of control, namely LWPs." Exactly so
+//! here: snapshots expose processes and LWPs — user-level threads are
+//! invisible, which is why "debugger control of library threads is
+//! accomplished by cooperation between the debugger and the threads
+//! library".
+
+use crate::kernel::SimKernel;
+use crate::lwp::{LwpRunState, SimLwpId};
+use crate::sched::SchedClass;
+use crate::{Pid, SimTime};
+
+/// Snapshot of one LWP, as a debugger would see it through `/proc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LwpSnapshot {
+    /// The LWP id.
+    pub id: SimLwpId,
+    /// Scheduling class and priority.
+    pub class: SchedClass,
+    /// Run state.
+    pub state: LwpRunState,
+    /// Consumed CPU time.
+    pub cpu_time: SimTime,
+}
+
+/// Snapshot of one process.
+#[derive(Clone, Debug)]
+pub struct ProcSnapshot {
+    /// The process id.
+    pub pid: Pid,
+    /// Its LWPs — and only LWPs; user threads are library data.
+    pub lwps: Vec<LwpSnapshot>,
+}
+
+impl SimKernel {
+    /// All processes' snapshots, ordered by pid.
+    pub fn proc_snapshots(&self) -> Vec<ProcSnapshot> {
+        let mut pids = self.pids();
+        pids.sort();
+        pids.into_iter()
+            .map(|pid| self.proc_snapshot(pid))
+            .collect()
+    }
+
+    /// One process's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` does not exist.
+    pub fn proc_snapshot(&self, pid: Pid) -> ProcSnapshot {
+        let lwps = self
+            .lwps_of(pid)
+            .into_iter()
+            .map(|id| LwpSnapshot {
+                id,
+                class: self.lwp_class(id),
+                state: self.lwp_run_state(id),
+                cpu_time: self.lwp_cpu_time(id),
+            })
+            .collect();
+        ProcSnapshot { pid, lwps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SimConfig;
+    use crate::lwp::{LwpProgram, Op};
+
+    #[test]
+    fn snapshots_expose_lwps_not_threads() {
+        let mut k = SimKernel::new(SimConfig::default());
+        let pid = k.add_process();
+        k.add_lwp(
+            pid,
+            SchedClass::Sys(3),
+            LwpProgram::Script(vec![Op::Compute(100), Op::Exit]),
+        );
+        k.add_lwp(
+            pid,
+            SchedClass::Ts,
+            LwpProgram::Script(vec![Op::WaitIndefinite]),
+        );
+        k.run_until_idle(10_000);
+        let snap = k.proc_snapshot(pid);
+        assert_eq!(snap.pid, pid);
+        assert_eq!(snap.lwps.len(), 2);
+        assert_eq!(snap.lwps[0].class, SchedClass::Sys(3));
+        assert_eq!(snap.lwps[0].state, LwpRunState::Zombie);
+        assert_eq!(snap.lwps[1].state, LwpRunState::Blocked);
+        assert_eq!(k.proc_snapshots().len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Scheduling classes and dispatch policy.
+//!
+//! "All the LWPs in the system are scheduled by the kernel onto the
+//! available CPU resources according to their scheduling class and
+//! priority." The paper adds "a new scheduling class for 'gang' scheduling
+//! ... for implementations of fine grain parallelism", and "the LWP may
+//! also ask to be bound to a CPU".
+
+/// The scheduling class of an LWP.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedClass {
+    /// Real-time: fixed priority, preempts everything else, dispatched
+    /// ahead of all other classes.
+    Rt(u8),
+    /// System: fixed priority below real-time.
+    Sys(u8),
+    /// Timeshare: dynamic priority that decays with CPU usage and is
+    /// boosted on sleep wakeup.
+    Ts,
+    /// Gang: members of one gang are dispatched onto CPUs together or not
+    /// at all, and preempted together.
+    Gang(u32),
+}
+
+impl SchedClass {
+    /// Class rank: lower dispatches first.
+    pub fn rank(self) -> u8 {
+        match self {
+            SchedClass::Rt(_) => 0,
+            SchedClass::Sys(_) => 1,
+            SchedClass::Ts | SchedClass::Gang(_) => 2,
+        }
+    }
+
+    /// The gang id, if any.
+    pub fn gang(self) -> Option<u32> {
+        match self {
+            SchedClass::Gang(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// Timeshare dynamic-priority bookkeeping (one per TS LWP).
+///
+/// Classic decay-usage policy: burning a full quantum lowers the priority;
+/// sleeping and waking boosts it, favoring interactive work.
+#[derive(Clone, Copy, Debug)]
+pub struct TsState {
+    /// Dynamic priority in `0..=59`; higher dispatches first.
+    pub pri: u8,
+}
+
+/// Priority after consuming a full quantum.
+pub fn ts_decay(ts: TsState) -> TsState {
+    TsState {
+        pri: ts.pri.saturating_sub(10),
+    }
+}
+
+/// Priority after waking from a block.
+pub fn ts_wake_boost(_ts: TsState) -> TsState {
+    TsState { pri: 50 }
+}
+
+impl Default for TsState {
+    fn default() -> TsState {
+        TsState { pri: 30 }
+    }
+}
+
+/// The dispatch key of a runnable LWP: (rank, negated priority, FIFO seq).
+/// Sorting ascending yields kernel dispatch order.
+pub fn dispatch_key(class: SchedClass, ts: TsState, seq: u64) -> (u8, i16, u64) {
+    let pri = match class {
+        SchedClass::Rt(p) | SchedClass::Sys(p) => p as i16,
+        SchedClass::Ts | SchedClass::Gang(_) => ts.pri as i16,
+    };
+    (class.rank(), -pri, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_outranks_sys_outranks_ts() {
+        let rt = dispatch_key(SchedClass::Rt(1), TsState::default(), 10);
+        let sys = dispatch_key(SchedClass::Sys(200), TsState::default(), 1);
+        let ts = dispatch_key(SchedClass::Ts, TsState { pri: 59 }, 0);
+        assert!(rt < sys);
+        assert!(sys < ts);
+    }
+
+    #[test]
+    fn higher_priority_dispatches_first_within_class() {
+        let hi = dispatch_key(SchedClass::Rt(9), TsState::default(), 5);
+        let lo = dispatch_key(SchedClass::Rt(3), TsState::default(), 1);
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn fifo_breaks_ties() {
+        let a = dispatch_key(SchedClass::Ts, TsState { pri: 30 }, 1);
+        let b = dispatch_key(SchedClass::Ts, TsState { pri: 30 }, 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn decay_and_boost() {
+        let d = ts_decay(TsState { pri: 30 });
+        assert_eq!(d.pri, 20);
+        assert_eq!(ts_decay(TsState { pri: 5 }).pri, 0);
+        assert_eq!(ts_wake_boost(d).pri, 50);
+    }
+
+    #[test]
+    fn gang_accessor() {
+        assert_eq!(SchedClass::Gang(7).gang(), Some(7));
+        assert_eq!(SchedClass::Ts.gang(), None);
+    }
+}

@@ -1,0 +1,725 @@
+//! User-level thread packages running *inside* the simulated kernel.
+//!
+//! These model the alternatives the paper weighs:
+//!
+//! * **M:N** — the SunOS architecture: threads multiplexed on a pool of
+//!   LWPs, thread switches costing microseconds of user-mode work, pool
+//!   growth on `SIGWAITING`.
+//! * **M:N + activations** — the University of Washington comparison
+//!   ("scheduler activations ... an upcall ... whenever a scheduler
+//!   activation currently in use by the process blocks in the kernel"):
+//!   the package gets to add an LWP on *every* block, not only on
+//!   indefinite ones.
+//! * **1:1** — Mach C Threads "wired" mode: every thread is an LWP;
+//!   every switch and every block is a kernel event.
+//! * **N:1** — the SunOS 4.0 `liblwp` library: all threads on one LWP; "if
+//!   an LWP called a blocking system call ..., the entire application
+//!   blocked". Expressed here as M:N with a single, ungrowable LWP.
+//!
+//! Thread behaviour is data ([`TOp`]), so runs are deterministic and the
+//! packages differ *only* in their mapping policy — exactly the comparison
+//! the paper's "Why have both threads and LWPs?" section makes.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use crate::kernel::SimKernel;
+use crate::lwp::{KernelRequest, LwpProgram, LwpView, Op, SimLwpId};
+use crate::sched::SchedClass;
+use crate::{Pid, SimTime};
+
+/// One step of a user-level thread's behaviour.
+#[derive(Clone, Debug)]
+pub enum TOp {
+    /// Consume CPU.
+    Compute(SimTime),
+    /// Decrement package semaphore `idx`, blocking the *thread* while zero.
+    SemaP(usize),
+    /// Increment package semaphore `idx`, waking one blocked thread.
+    SemaV(usize),
+    /// A blocking kernel call ("the thread needing the system service
+    /// remains bound to the LWP executing it until the call is completed").
+    Io {
+        /// Kernel-side latency.
+        latency: SimTime,
+    },
+    /// A `poll()`-like call the kernel classifies as an *indefinite,
+    /// external* wait — the case `SIGWAITING` is defined for.
+    Poll {
+        /// When the external event arrives.
+        latency: SimTime,
+    },
+    /// Terminate the thread.
+    Exit,
+}
+
+/// A thread's full behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadSpec {
+    /// The ops, run once in order; running off the end is an implicit
+    /// `Exit`.
+    pub ops: Vec<TOp>,
+}
+
+/// User-mode cost model (virtual microseconds), defaults shaped by the
+/// paper's Figure 5/6: unbound create 56 µs vs bound/LWP create 2327 µs,
+/// thread switch on the order of the setjmp/longjmp baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct PkgCosts {
+    /// User-level thread context switch.
+    pub thread_switch: SimTime,
+    /// Unbound thread creation.
+    pub thread_create: SimTime,
+    /// LWP (kernel entity) creation.
+    pub lwp_create: SimTime,
+}
+
+impl Default for PkgCosts {
+    fn default() -> PkgCosts {
+        PkgCosts {
+            thread_switch: 59,
+            thread_create: 56,
+            lwp_create: 2327,
+        }
+    }
+}
+
+/// Which mapping policy a package uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PkgModel {
+    /// Threads multiplexed on `lwps` LWPs; `activations` selects the
+    /// scheduler-activations upcall policy instead of `SIGWAITING`.
+    Mn {
+        /// Initial LWP-pool size.
+        lwps: usize,
+        /// Upcall on every block (Anderson 1990) vs only on all-blocked.
+        activations: bool,
+        /// Whether the pool may grow at all (false models SunOS 4.0
+        /// `liblwp`, which had no kernel help whatsoever).
+        growable: bool,
+    },
+    /// One LWP per thread.
+    OneToOne,
+}
+
+#[derive(Debug)]
+enum TState {
+    Ready,
+    Running,
+    BlockedSema,
+    Done,
+}
+
+struct ThreadData {
+    spec: ThreadSpec,
+    pc: usize,
+    state: TState,
+    finish_time: Option<SimTime>,
+}
+
+struct SemaData {
+    count: u32,
+    waiters: VecDeque<usize>,
+}
+
+/// Observable counters of one package run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PkgMetrics {
+    /// User-level thread switches performed.
+    pub thread_switches: u64,
+    /// LWPs created after startup (pool growth).
+    pub lwps_grown: u64,
+    /// Threads that ran to completion.
+    pub threads_done: usize,
+    /// Virtual time when the last thread finished.
+    pub last_finish: SimTime,
+}
+
+struct PkgState {
+    model: PkgModel,
+    costs: PkgCosts,
+    threads: Vec<ThreadData>,
+    semas: Vec<SemaData>,
+    ready: VecDeque<usize>,
+    current: HashMap<SimLwpId, usize>,
+    idle: Vec<SimLwpId>,
+    pending_ops: HashMap<SimLwpId, VecDeque<Op>>,
+    /// LWPs whose current thread is mid-`Poll`, with the virtual time the
+    /// external event arrives. A SIGWAITING delivery interrupts the wait
+    /// (like a signal); the step function re-issues the remaining wait.
+    poll_deadline: HashMap<SimLwpId, SimTime>,
+    metrics: PkgMetrics,
+}
+
+/// A handle to inspect a package after (or during) a run.
+pub struct PkgHandle {
+    state: Rc<RefCell<PkgState>>,
+    /// Analytic startup cost: thread creations plus initial LWP creations
+    /// (charged by the harness, not simulated, so runtime effects stay
+    /// isolated from setup effects).
+    pub creation_cost: SimTime,
+}
+
+impl PkgHandle {
+    /// Counters accumulated so far.
+    pub fn metrics(&self) -> PkgMetrics {
+        self.state.borrow().metrics
+    }
+
+    /// Whether every thread has finished.
+    pub fn all_done(&self) -> bool {
+        let st = self.state.borrow();
+        st.metrics.threads_done == st.threads.len()
+    }
+}
+
+impl PkgState {
+    fn step(&mut self, view: &mut LwpView) -> Op {
+        let me = view.lwp;
+        self.idle.retain(|l| *l != me);
+        if let Some(q) = self.pending_ops.get_mut(&me) {
+            if let Some(op) = q.pop_front() {
+                return op;
+            }
+        }
+        // SIGWAITING reaction: the paper's growth path. Only meaningful for
+        // growable M:N pools.
+        if view.sigwaiting_pending {
+            if let PkgModel::Mn { growable: true, .. } = self.model {
+                if !self.ready.is_empty() {
+                    self.spawn_pool_lwp(view);
+                }
+            }
+        }
+        // If a SIGWAITING delivery interrupted this LWP's thread mid-poll,
+        // re-issue the remaining wait (the paper's handler returns into the
+        // restarted call).
+        if let Some(deadline) = self.poll_deadline.get(&me).copied() {
+            if view.now < deadline {
+                return Op::IndefiniteSyscall {
+                    latency: deadline - view.now,
+                };
+            }
+            self.poll_deadline.remove(&me);
+        }
+        loop {
+            let t = match self.current.get(&me) {
+                Some(t) => *t,
+                None => {
+                    // Pick the next ready thread, or park.
+                    match self.ready.pop_front() {
+                        Some(t) => {
+                            self.current.insert(me, t);
+                            self.threads[t].state = TState::Running;
+                            self.metrics.thread_switches += 1;
+                            let cost = self.costs.thread_switch;
+                            if cost > 0 {
+                                return Op::Compute(cost);
+                            }
+                            t
+                        }
+                        None => {
+                            if self.threads.iter().all(|t| matches!(t.state, TState::Done)) {
+                                return Op::Exit;
+                            }
+                            self.idle.push(me);
+                            return Op::WaitIndefinite;
+                        }
+                    }
+                }
+            };
+            let op = self.threads[t]
+                .spec
+                .ops
+                .get(self.threads[t].pc)
+                .cloned()
+                .unwrap_or(TOp::Exit);
+            self.threads[t].pc += 1;
+            match op {
+                TOp::Compute(d) => return Op::Compute(d),
+                TOp::SemaP(s) => {
+                    if self.semas[s].count > 0 {
+                        self.semas[s].count -= 1;
+                        continue;
+                    }
+                    self.semas[s].waiters.push_back(t);
+                    self.threads[t].state = TState::BlockedSema;
+                    self.current.remove(&me);
+                    continue;
+                }
+                TOp::SemaV(s) => {
+                    if let Some(w) = self.semas[s].waiters.pop_front() {
+                        self.threads[w].state = TState::Ready;
+                        self.ready.push_back(w);
+                        if let Some(idle) = self.idle.pop() {
+                            return Op::WakeLwp(idle);
+                        }
+                    } else {
+                        self.semas[s].count += 1;
+                    }
+                    continue;
+                }
+                TOp::Io { latency } => {
+                    // "The thread needing the system service remains bound
+                    // to the LWP executing it": the LWP blocks with the
+                    // thread still current.
+                    if let PkgModel::Mn {
+                        activations: true,
+                        growable: true,
+                        ..
+                    } = self.model
+                    {
+                        // Scheduler activations: an upcall on *every* block
+                        // lets the package keep its concurrency.
+                        if !self.ready.is_empty() && self.idle.is_empty() {
+                            self.spawn_pool_lwp(view);
+                        }
+                    }
+                    return Op::Syscall {
+                        latency,
+                        interruptible: true,
+                    };
+                }
+                TOp::Poll { latency } => {
+                    // Same binding rule as Io, but the kernel classifies
+                    // the wait as indefinite: SIGWAITING-eligible.
+                    if let PkgModel::Mn {
+                        activations: true,
+                        growable: true,
+                        ..
+                    } = self.model
+                    {
+                        if !self.ready.is_empty() && self.idle.is_empty() {
+                            self.spawn_pool_lwp(view);
+                        }
+                    }
+                    self.poll_deadline.insert(me, view.now + latency);
+                    return Op::IndefiniteSyscall { latency };
+                }
+                TOp::Exit => {
+                    self.threads[t].state = TState::Done;
+                    self.threads[t].finish_time = Some(view.now);
+                    self.metrics.threads_done += 1;
+                    self.metrics.last_finish = view.now;
+                    self.current.remove(&me);
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn spawn_pool_lwp(&mut self, view: &mut LwpView) {
+        self.metrics.lwps_grown += 1;
+        // Creating an LWP costs kernel work, charged to the requester.
+        self.pending_ops
+            .entry(view.lwp)
+            .or_default()
+            .push_back(Op::Compute(self.costs.lwp_create));
+        view.requests.push(KernelRequest::SpawnLwp {
+            class: SchedClass::Ts,
+            program: LwpProgram::Dynamic(placeholder_closure()),
+        });
+    }
+}
+
+// Pool-LWP closures need to clone themselves when the pool grows; the
+// placeholder is patched by `mn_closure` via the shared state.
+thread_local! {
+    static CURRENT_PKG: RefCell<Option<Rc<RefCell<PkgState>>>> = const { RefCell::new(None) };
+}
+
+fn placeholder_closure() -> Box<dyn FnMut(&mut LwpView) -> Op> {
+    let pkg = CURRENT_PKG
+        .with(|p| p.borrow().clone())
+        .expect("pool LWP spawned outside a package step");
+    mn_closure(pkg)
+}
+
+fn mn_closure(state: Rc<RefCell<PkgState>>) -> Box<dyn FnMut(&mut LwpView) -> Op> {
+    Box::new(move |view| {
+        CURRENT_PKG.with(|p| *p.borrow_mut() = Some(Rc::clone(&state)));
+        let op = state.borrow_mut().step(view);
+        CURRENT_PKG.with(|p| *p.borrow_mut() = None);
+        op
+    })
+}
+
+/// Installs a threads package for `threads` in process `pid` and returns
+/// its handle. `sema_count` package semaphores are created, all starting
+/// at zero.
+pub fn install(
+    kernel: &mut SimKernel,
+    pid: Pid,
+    model: PkgModel,
+    costs: PkgCosts,
+    threads: Vec<ThreadSpec>,
+    sema_count: usize,
+) -> PkgHandle {
+    let n_threads = threads.len();
+    let state = Rc::new(RefCell::new(PkgState {
+        model,
+        costs,
+        threads: threads
+            .into_iter()
+            .map(|spec| ThreadData {
+                spec,
+                pc: 0,
+                state: TState::Ready,
+                finish_time: None,
+            })
+            .collect(),
+        semas: (0..sema_count)
+            .map(|_| SemaData {
+                count: 0,
+                waiters: VecDeque::new(),
+            })
+            .collect(),
+        ready: (0..n_threads).collect(),
+        current: HashMap::new(),
+        idle: Vec::new(),
+        pending_ops: HashMap::new(),
+        poll_deadline: HashMap::new(),
+        metrics: PkgMetrics::default(),
+    }));
+    let (lwp_count, creation_cost) = match model {
+        PkgModel::Mn { lwps, growable, .. } => {
+            if growable {
+                kernel.catch_sigwaiting(pid);
+            }
+            (
+                lwps.max(1),
+                n_threads as SimTime * costs.thread_create
+                    + lwps.max(1) as SimTime * costs.lwp_create,
+            )
+        }
+        PkgModel::OneToOne => (n_threads, n_threads as SimTime * costs.lwp_create),
+    };
+    match model {
+        PkgModel::Mn { .. } => {
+            for _ in 0..lwp_count {
+                kernel.add_lwp(
+                    pid,
+                    SchedClass::Ts,
+                    LwpProgram::Dynamic(mn_closure(Rc::clone(&state))),
+                );
+            }
+        }
+        PkgModel::OneToOne => {
+            // Each thread permanently bound to its own LWP: same engine,
+            // but the LWP pins its thread at startup and never multiplexes.
+            for t in 0..n_threads {
+                let st = Rc::clone(&state);
+                let mut started = false;
+                kernel.add_lwp(
+                    pid,
+                    SchedClass::Ts,
+                    LwpProgram::Dynamic(Box::new(move |view| {
+                        let mut s = st.borrow_mut();
+                        if !started {
+                            started = true;
+                            s.ready.retain(|r| *r != t);
+                            s.current.insert(view.lwp, t);
+                            s.threads[t].state = TState::Running;
+                        }
+                        CURRENT_PKG.with(|p| *p.borrow_mut() = None);
+                        bound_step(&mut s, view, t)
+                    })),
+                );
+            }
+        }
+    }
+    PkgHandle {
+        state,
+        creation_cost,
+    }
+}
+
+/// Step function for a 1:1 (bound) thread: no multiplexing, semaphore
+/// blocks park the LWP in the kernel.
+fn bound_step(s: &mut PkgState, view: &mut LwpView, t: usize) -> Op {
+    let me = view.lwp;
+    if let Some(q) = s.pending_ops.get_mut(&me) {
+        if let Some(op) = q.pop_front() {
+            return op;
+        }
+    }
+    loop {
+        if matches!(s.threads[t].state, TState::BlockedSema) {
+            // Woken by a grant (V transferred the token and woke us).
+            s.threads[t].state = TState::Running;
+        }
+        let op = s.threads[t]
+            .spec
+            .ops
+            .get(s.threads[t].pc)
+            .cloned()
+            .unwrap_or(TOp::Exit);
+        s.threads[t].pc += 1;
+        match op {
+            TOp::Compute(d) => return Op::Compute(d),
+            TOp::SemaP(idx) => {
+                if s.semas[idx].count > 0 {
+                    s.semas[idx].count -= 1;
+                    continue;
+                }
+                s.semas[idx].waiters.push_back(t);
+                s.threads[t].state = TState::BlockedSema;
+                // Blocking a bound thread blocks its LWP.
+                return Op::WaitIndefinite;
+            }
+            TOp::SemaV(idx) => {
+                if let Some(w) = s.semas[idx].waiters.pop_front() {
+                    s.threads[w].state = TState::Ready;
+                    // Find the LWP carrying thread w and wake it.
+                    let target = s
+                        .current
+                        .iter()
+                        .find(|(_, tt)| **tt == w)
+                        .map(|(l, _)| *l)
+                        .expect("1:1 thread without an LWP");
+                    return Op::WakeLwp(target);
+                }
+                s.semas[idx].count += 1;
+                continue;
+            }
+            TOp::Io { latency } => {
+                return Op::Syscall {
+                    latency,
+                    interruptible: true,
+                }
+            }
+            TOp::Poll { latency } => return Op::IndefiniteSyscall { latency },
+            TOp::Exit => {
+                s.threads[t].state = TState::Done;
+                s.threads[t].finish_time = Some(view.now);
+                s.metrics.threads_done += 1;
+                s.metrics.last_finish = view.now;
+                s.current.remove(&me);
+                return Op::Exit;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SimConfig;
+
+    fn kernel(cpus: usize) -> SimKernel {
+        SimKernel::new(SimConfig {
+            cpus,
+            ts_quantum: 10_000,
+            dispatch_cost: 10,
+        })
+    }
+
+    fn compute_threads(n: usize, work: SimTime) -> Vec<ThreadSpec> {
+        (0..n)
+            .map(|_| ThreadSpec {
+                ops: vec![TOp::Compute(work), TOp::Exit],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mn_package_runs_all_threads_on_one_lwp() {
+        let mut k = kernel(1);
+        let pid = k.add_process();
+        let h = install(
+            &mut k,
+            pid,
+            PkgModel::Mn {
+                lwps: 1,
+                activations: false,
+                growable: false,
+            },
+            PkgCosts::default(),
+            compute_threads(10, 100),
+            0,
+        );
+        k.run_until_idle(10_000_000);
+        assert!(h.all_done());
+        assert_eq!(h.metrics().threads_done, 10);
+        assert!(h.metrics().thread_switches >= 10);
+    }
+
+    #[test]
+    fn one_to_one_package_runs_all_threads() {
+        let mut k = kernel(2);
+        let pid = k.add_process();
+        let h = install(
+            &mut k,
+            pid,
+            PkgModel::OneToOne,
+            PkgCosts::default(),
+            compute_threads(6, 100),
+            0,
+        );
+        k.run_until_idle(10_000_000);
+        assert!(h.all_done());
+    }
+
+    #[test]
+    fn semaphore_ping_pong_between_package_threads() {
+        // Thread 0: V(0); P(1)  x3.  Thread 1: P(0); V(1)  x3.
+        let t0 = ThreadSpec {
+            ops: vec![
+                TOp::SemaV(0),
+                TOp::SemaP(1),
+                TOp::SemaV(0),
+                TOp::SemaP(1),
+                TOp::SemaV(0),
+                TOp::SemaP(1),
+                TOp::Exit,
+            ],
+        };
+        let t1 = ThreadSpec {
+            ops: vec![
+                TOp::SemaP(0),
+                TOp::SemaV(1),
+                TOp::SemaP(0),
+                TOp::SemaV(1),
+                TOp::SemaP(0),
+                TOp::SemaV(1),
+                TOp::Exit,
+            ],
+        };
+        for model in [
+            PkgModel::Mn {
+                lwps: 1,
+                activations: false,
+                growable: false,
+            },
+            PkgModel::Mn {
+                lwps: 2,
+                activations: false,
+                growable: false,
+            },
+            PkgModel::OneToOne,
+        ] {
+            let mut k = kernel(2);
+            let pid = k.add_process();
+            let h = install(
+                &mut k,
+                pid,
+                model,
+                PkgCosts::default(),
+                vec![t0.clone(), t1.clone()],
+                2,
+            );
+            k.run_until_idle(10_000_000);
+            assert!(h.all_done(), "model {model:?} deadlocked");
+        }
+    }
+
+    #[test]
+    fn n1_package_blocks_whole_process_on_io() {
+        // liblwp-style: one ungrowable LWP; thread 0's I/O stalls thread 1.
+        let mut k = kernel(1);
+        let pid = k.add_process();
+        let threads = vec![
+            ThreadSpec {
+                ops: vec![TOp::Io { latency: 10_000 }, TOp::Exit],
+            },
+            ThreadSpec {
+                ops: vec![TOp::Compute(100), TOp::Exit],
+            },
+        ];
+        let h = install(
+            &mut k,
+            pid,
+            PkgModel::Mn {
+                lwps: 1,
+                activations: false,
+                growable: false,
+            },
+            PkgCosts {
+                thread_switch: 0,
+                thread_create: 0,
+                lwp_create: 0,
+            },
+            threads,
+            0,
+        );
+        let end = k.run_until_idle(10_000_000);
+        assert!(h.all_done());
+        assert!(
+            end >= 10_000,
+            "whole process must have stalled behind the I/O (end={end})"
+        );
+    }
+
+    #[test]
+    fn activations_overlap_io_with_compute() {
+        // With scheduler activations, thread 0's I/O triggers an upcall
+        // that adds an LWP, so thread 1 computes during the I/O.
+        let threads = vec![
+            ThreadSpec {
+                ops: vec![TOp::Io { latency: 50_000 }, TOp::Exit],
+            },
+            ThreadSpec {
+                ops: vec![TOp::Compute(1_000), TOp::Exit],
+            },
+        ];
+        let costs = PkgCosts {
+            thread_switch: 10,
+            thread_create: 0,
+            lwp_create: 100,
+        };
+        let run = |activations: bool| {
+            let mut k = kernel(2);
+            let pid = k.add_process();
+            let h = install(
+                &mut k,
+                pid,
+                PkgModel::Mn {
+                    lwps: 1,
+                    activations,
+                    growable: true,
+                },
+                costs,
+                threads.clone(),
+                0,
+            );
+            let end = k.run_until_idle(10_000_000);
+            assert!(h.all_done());
+            (end, h.metrics().lwps_grown)
+        };
+        let (_end_with, grown_with) = run(true);
+        assert!(grown_with >= 1, "activations must have grown the pool");
+    }
+
+    #[test]
+    fn sigwaiting_growth_rescues_blocked_pool() {
+        // One LWP, SIGWAITING growth on: when the only LWP parks with a
+        // ready thread queued (possible after an I/O completes while the
+        // pool is idle-parked), the package recovers. Simpler scenario:
+        // both threads block on a sema that an I/O completion V's.
+        let threads = vec![
+            ThreadSpec {
+                ops: vec![TOp::Io { latency: 5_000 }, TOp::SemaV(0), TOp::Exit],
+            },
+            ThreadSpec {
+                ops: vec![TOp::SemaP(0), TOp::Compute(100), TOp::Exit],
+            },
+        ];
+        let mut k = kernel(1);
+        let pid = k.add_process();
+        let h = install(
+            &mut k,
+            pid,
+            PkgModel::Mn {
+                lwps: 1,
+                activations: false,
+                growable: true,
+            },
+            PkgCosts::default(),
+            threads,
+            1,
+        );
+        k.run_until_idle(10_000_000);
+        assert!(h.all_done(), "SIGWAITING growth failed to rescue the run");
+    }
+}

@@ -1,0 +1,154 @@
+//! Timestamped event traces — the simulation's observable output.
+
+use crate::lwp::SimLwpId;
+use crate::{Pid, SimTime};
+
+/// One observable kernel event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// An LWP was dispatched onto a CPU.
+    Dispatch {
+        /// The LWP.
+        lwp: SimLwpId,
+        /// The CPU index it runs on.
+        cpu: usize,
+    },
+    /// An LWP left its CPU (preempted, blocked, or exited).
+    OffCpu {
+        /// The LWP.
+        lwp: SimLwpId,
+        /// Why it left.
+        reason: OffCpuReason,
+    },
+    /// An LWP entered a blocking system call.
+    SyscallEnter {
+        /// The LWP.
+        lwp: SimLwpId,
+    },
+    /// A blocking system call completed.
+    SyscallDone {
+        /// The LWP.
+        lwp: SimLwpId,
+        /// Whether it was aborted with `EINTR` (by `fork()`).
+        eintr: bool,
+    },
+    /// `SIGWAITING` was posted to a process (all LWPs in indefinite waits).
+    Sigwaiting {
+        /// The process.
+        pid: Pid,
+    },
+    /// A signal was delivered to an LWP.
+    SignalDeliver {
+        /// The LWP.
+        lwp: SimLwpId,
+        /// Signal number.
+        sig: u32,
+    },
+    /// A process forked; `all_lwps` distinguishes `fork()` from `fork1()`.
+    Fork {
+        /// Parent process.
+        parent: Pid,
+        /// Child process.
+        child: Pid,
+        /// True for `fork()` (duplicate every LWP), false for `fork1()`.
+        all_lwps: bool,
+    },
+    /// An LWP exited.
+    LwpExit {
+        /// The LWP.
+        lwp: SimLwpId,
+    },
+    /// A user-level threads-package event (thread switch, create, ...).
+    /// Free-form, produced by the [`crate::threads`] layer.
+    UserLevel {
+        /// The LWP on which the user-level event happened.
+        lwp: SimLwpId,
+        /// Event label, e.g. `"thread-switch t3 -> t7"`.
+        what: String,
+    },
+}
+
+/// How an LWP left its CPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OffCpuReason {
+    /// Quantum expired or a higher-priority LWP preempted it.
+    Preempted,
+    /// Blocked (syscall, page fault, kernel sync object, indefinite wait).
+    Blocked,
+    /// Exited.
+    Exited,
+    /// Stopped by debugger/`thread_stop`-style request.
+    Stopped,
+}
+
+/// The full, ordered record of a simulation run.
+#[derive(Default)]
+pub struct Trace {
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Trace {
+    /// Appends an event at time `now`.
+    pub fn push(&mut self, now: SimTime, ev: TraceEvent) {
+        self.events.push((now, ev));
+    }
+
+    /// All events in time order (stable for equal timestamps).
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events matching a predicate.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (SimTime, TraceEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as one line per event (for the FIG2 harness).
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for (t, e) in &self.events {
+            let _ = writeln!(out, "[{t:>8} us] {e:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_preserves_order_and_filters() {
+        let mut tr = Trace::default();
+        tr.push(
+            5,
+            TraceEvent::Dispatch {
+                lwp: SimLwpId(1),
+                cpu: 0,
+            },
+        );
+        tr.push(9, TraceEvent::LwpExit { lwp: SimLwpId(1) });
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+        let exits: Vec<_> = tr
+            .filter(|e| matches!(e, TraceEvent::LwpExit { .. }))
+            .collect();
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].0, 9);
+        assert!(tr.render().contains("Dispatch"));
+    }
+}

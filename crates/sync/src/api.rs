@@ -1,0 +1,122 @@
+//! The synchronization half of the paper's Figure 4, under its original
+//! names.
+//!
+//! Rust callers will normally use the methods on [`Mutex`], [`Condvar`],
+//! [`Sema`] and [`RwLock`]; this module exists so code can be transliterated
+//! from the paper (and from SunOS 5.x sources) line by line, and so the
+//! API-conformance test can tick off every Figure 4 entry.
+
+use crate::{Condvar, Mutex, RwLock, RwType, Sema, SyncType};
+
+/// `mutex_init(mp, type, arg)`.
+pub fn mutex_init(mp: &Mutex, kind: SyncType) {
+    mp.init(kind);
+}
+
+/// `mutex_enter(mp)`.
+pub fn mutex_enter(mp: &Mutex) {
+    mp.enter();
+}
+
+/// `mutex_exit(mp)`.
+pub fn mutex_exit(mp: &Mutex) {
+    mp.exit();
+}
+
+/// `mutex_tryenter(mp)`.
+pub fn mutex_tryenter(mp: &Mutex) -> bool {
+    mp.try_enter()
+}
+
+/// `cv_init(cvp, type, arg)`.
+pub fn cv_init(cvp: &Condvar, kind: SyncType) {
+    cvp.init(kind);
+}
+
+/// `cv_wait(cvp, mutexp)`.
+pub fn cv_wait(cvp: &Condvar, mutexp: &Mutex) {
+    cvp.wait(mutexp);
+}
+
+/// `cv_signal(cvp)`.
+pub fn cv_signal(cvp: &Condvar) {
+    cvp.signal();
+}
+
+/// `cv_broadcast(cvp)`.
+pub fn cv_broadcast(cvp: &Condvar) {
+    cvp.broadcast();
+}
+
+/// `sema_init(sp, count, type, arg)`.
+pub fn sema_init(sp: &Sema, count: u32, kind: SyncType) {
+    sp.init(count, kind);
+}
+
+/// `sema_p(sp)`.
+pub fn sema_p(sp: &Sema) {
+    sp.p();
+}
+
+/// `sema_v(sp)`.
+pub fn sema_v(sp: &Sema) {
+    sp.v();
+}
+
+/// `sema_tryp(sp)`.
+pub fn sema_tryp(sp: &Sema) -> bool {
+    sp.try_p()
+}
+
+/// `rw_init(rwlp, type, arg)`.
+pub fn rw_init(rwlp: &RwLock, kind: SyncType) {
+    rwlp.init(kind);
+}
+
+/// `rw_enter(rwlp, type)`.
+pub fn rw_enter(rwlp: &RwLock, t: RwType) {
+    rwlp.enter(t);
+}
+
+/// `rw_exit(rwlp)`.
+pub fn rw_exit(rwlp: &RwLock) {
+    rwlp.exit();
+}
+
+/// `rw_tryenter(rwlp, type)`.
+pub fn rw_tryenter(rwlp: &RwLock, t: RwType) -> bool {
+    rwlp.try_enter(t)
+}
+
+/// `rw_downgrade(rwlp)`.
+pub fn rw_downgrade(rwlp: &RwLock) {
+    rwlp.downgrade();
+}
+
+/// `rw_tryupgrade(rwlp)`.
+pub fn rw_tryupgrade(rwlp: &RwLock) -> bool {
+    rwlp.try_upgrade()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_monitor_idiom_compiles_and_runs() {
+        // The literal usage sketch from the paper's condition-variable
+        // section, transliterated.
+        let m = Mutex::new(SyncType::DEFAULT);
+        let cv = Condvar::new(SyncType::DEFAULT);
+        let mut some_condition = false;
+        mutex_enter(&m);
+        while some_condition {
+            cv_wait(&cv, &m);
+        }
+        some_condition = true;
+        mutex_exit(&m);
+        assert!(some_condition);
+        cv_signal(&cv);
+        cv_broadcast(&cv);
+    }
+}

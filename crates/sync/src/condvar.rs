@@ -1,0 +1,199 @@
+//! Condition variables.
+//!
+//! "Condition variables are used to wait until a particular condition is
+//! true. Condition variables must be used in conjunction with a mutex lock.
+//! This implements a typical monitor."
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use crate::mutex::Mutex;
+use crate::strategy;
+use crate::types::SyncType;
+
+/// A SunOS-style condition variable (`condvar_t`).
+///
+/// Position independent and valid when zeroed, like every variable in this
+/// crate. The wakeup-sequence word monotonically counts signals; a waiter
+/// sleeps only while the sequence still holds the value it sampled *before*
+/// releasing the mutex, which closes the classic lost-wakeup window.
+#[repr(C)]
+#[derive(Debug, Default)]
+pub struct Condvar {
+    seq: AtomicU32,
+    waiters: AtomicU32,
+    kind: AtomicU32,
+}
+
+impl Condvar {
+    /// Creates a condition variable of the given variant.
+    pub const fn new(kind: SyncType) -> Condvar {
+        Condvar {
+            seq: AtomicU32::new(0),
+            waiters: AtomicU32::new(0),
+            kind: AtomicU32::new(kind.0),
+        }
+    }
+
+    /// `cv_init()`: (re)initializes the variable to the given variant.
+    ///
+    /// Must not be called while any thread waits on the variable.
+    pub fn init(&self, kind: SyncType) {
+        self.seq.store(0, Ordering::Release);
+        self.waiters.store(0, Ordering::Release);
+        self.kind.store(kind.0, Ordering::Release);
+    }
+
+    #[inline]
+    fn shared(&self) -> bool {
+        SyncType(self.kind.load(Ordering::Relaxed)).is_shared()
+    }
+
+    /// `cv_wait()`: blocks until the condition is signaled.
+    ///
+    /// "It releases the associated mutex before blocking, and reacquires it
+    /// before returning. Since the reacquiring of the mutex may be blocked
+    /// by other threads waiting for the mutex, the condition that caused the
+    /// wait must be re-tested," i.e. call this in a `while` loop:
+    ///
+    /// ```
+    /// use sunmt_sync::{Condvar, Mutex, SyncType};
+    /// let m = Mutex::new(SyncType::DEFAULT);
+    /// let cv = Condvar::new(SyncType::DEFAULT);
+    /// let mut ready = true; // Toy predicate.
+    /// m.enter();
+    /// while !ready {
+    ///     cv.wait(&m);
+    /// }
+    /// m.exit();
+    /// ```
+    pub fn wait(&self, mutex: &Mutex) {
+        // Announce before sampling the sequence: a signaler that misses
+        // this increment necessarily bumped `seq` first, so our park
+        // returns immediately on the value mismatch (no lost wakeup).
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let seen = self.seq.load(Ordering::SeqCst);
+        mutex.exit();
+        // Sleeps only if no signal has arrived since `seen` was sampled
+        // under the mutex; spurious wakeups are fine because the caller
+        // re-tests its predicate.
+        strategy::park(&self.seq, seen, self.shared());
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        mutex.enter();
+    }
+
+    /// `cv_signal()`: wakes one of the threads blocked in [`Self::wait`].
+    ///
+    /// "There is no guaranteed order of acquisition if more than one thread
+    /// blocks on the condition variable."
+    pub fn signal(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            strategy::unpark(&self.seq, 1, self.shared());
+        }
+    }
+
+    /// `cv_broadcast()`: wakes all threads blocked in [`Self::wait`].
+    ///
+    /// "Since `cv_broadcast()` causes all threads blocking on the condition
+    /// to re-contend for the mutex, it should be used with care."
+    pub fn broadcast(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            strategy::unpark(&self.seq, u32::MAX, self.shared());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn zeroed_condvar_is_usable() {
+        let zeroed = [0u8; core::mem::size_of::<Condvar>()];
+        // SAFETY: All-zero is the documented valid default state.
+        let cv: &Condvar = unsafe { &*(zeroed.as_ptr() as *const Condvar) };
+        cv.signal();
+        cv.broadcast();
+    }
+
+    struct Monitor {
+        m: Mutex,
+        cv: Condvar,
+        ready: AtomicUsize,
+    }
+
+    #[test]
+    fn signal_wakes_one_waiter() {
+        let mon = Arc::new(Monitor {
+            m: Mutex::new(SyncType::DEFAULT),
+            cv: Condvar::new(SyncType::DEFAULT),
+            ready: AtomicUsize::new(0),
+        });
+        let mon2 = Arc::clone(&mon);
+        let waiter = std::thread::spawn(move || {
+            mon2.m.enter();
+            while mon2.ready.load(Ordering::Relaxed) == 0 {
+                mon2.cv.wait(&mon2.m);
+            }
+            mon2.m.exit();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        mon.m.enter();
+        mon.ready.store(1, Ordering::Relaxed);
+        mon.cv.signal();
+        mon.m.exit();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn broadcast_wakes_all_waiters() {
+        const WAITERS: usize = 6;
+        let mon = Arc::new(Monitor {
+            m: Mutex::new(SyncType::DEFAULT),
+            cv: Condvar::new(SyncType::DEFAULT),
+            ready: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::new();
+        for _ in 0..WAITERS {
+            let mon = Arc::clone(&mon);
+            handles.push(std::thread::spawn(move || {
+                mon.m.enter();
+                while mon.ready.load(Ordering::Relaxed) == 0 {
+                    mon.cv.wait(&mon.m);
+                }
+                mon.m.exit();
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        mon.m.enter();
+        mon.ready.store(1, Ordering::Relaxed);
+        mon.cv.broadcast();
+        mon.m.exit();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn signal_before_wait_is_not_lost_when_predicate_set() {
+        // A signal with no waiter is absorbed by the predicate, exactly as
+        // in the paper's monitor pattern.
+        let mon = Monitor {
+            m: Mutex::new(SyncType::DEFAULT),
+            cv: Condvar::new(SyncType::DEFAULT),
+            ready: AtomicUsize::new(0),
+        };
+        mon.m.enter();
+        mon.ready.store(1, Ordering::Relaxed);
+        mon.cv.signal();
+        // A waiter arriving later re-tests the predicate and never sleeps.
+        while mon.ready.load(Ordering::Relaxed) == 0 {
+            mon.cv.wait(&mon.m);
+        }
+        mon.m.exit();
+    }
+}

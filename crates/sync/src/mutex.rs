@@ -1,0 +1,347 @@
+//! Mutual-exclusion locks.
+//!
+//! "Mutex locks provide simple mutual exclusion. They are low overhead in
+//! both space and time and are therefore suitable for high frequency usage.
+//! Mutex locks are strictly bracketing in that it is an error for a thread
+//! to release a lock not held by the thread."
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use crate::strategy;
+use crate::types::SyncType;
+
+/// Lock word values (the classic three-state futex mutex).
+const UNLOCKED: u32 = 0;
+const LOCKED: u32 = 1;
+const CONTENDED: u32 = 2;
+
+/// How long the adaptive variant busy-waits before sleeping.
+const ADAPTIVE_SPINS: u32 = 100;
+
+/// A SunOS-style mutual exclusion lock (`mutex_t`).
+///
+/// Eight bytes, position independent, and valid when zeroed — it may be
+/// embedded in a structure, placed in `MAP_SHARED` memory, or stored in a
+/// file record (the paper's database example) when initialized with
+/// [`SyncType::SHARED`].
+///
+/// The uncontended paths are a single compare-and-swap in user mode; the
+/// kernel is entered only to sleep or to wake a sleeper.
+#[repr(C)]
+#[derive(Debug, Default)]
+pub struct Mutex {
+    word: AtomicU32,
+    kind: AtomicU32,
+    /// Holder identity, maintained only by the `DEBUG` variant (zero =
+    /// untracked/unheld).
+    owner: AtomicU32,
+}
+
+impl Mutex {
+    /// Creates a mutex of the given variant, unlocked.
+    pub const fn new(kind: SyncType) -> Mutex {
+        Mutex {
+            word: AtomicU32::new(UNLOCKED),
+            kind: AtomicU32::new(kind.0),
+            owner: AtomicU32::new(0),
+        }
+    }
+
+    /// `mutex_init()`: (re)initializes the variable to the given variant.
+    ///
+    /// Must not be called while any thread holds or waits on the lock.
+    pub fn init(&self, kind: SyncType) {
+        self.word.store(UNLOCKED, Ordering::Release);
+        self.kind.store(kind.0, Ordering::Release);
+        self.owner.store(0, Ordering::Release);
+    }
+
+    #[inline]
+    fn kind(&self) -> SyncType {
+        SyncType(self.kind.load(Ordering::Relaxed))
+    }
+
+    /// `mutex_enter()`: acquires the lock, blocking while it is held.
+    ///
+    /// # Panics
+    ///
+    /// The `DEBUG` variant panics on recursive entry by the holder; other
+    /// variants deadlock, as on SunOS.
+    #[inline]
+    pub fn enter(&self) {
+        let kind = self.kind();
+        if kind.is_debug() {
+            self.enter_debug();
+            return;
+        }
+        if self
+            .word
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        self.enter_slow();
+    }
+
+    #[cold]
+    fn enter_debug(&self) {
+        let me = strategy::self_id();
+        assert_ne!(
+            self.owner.load(Ordering::Acquire),
+            me,
+            "DEBUG mutex: recursive mutex_enter by the holder"
+        );
+        if self
+            .word
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.enter_slow();
+        }
+        self.owner.store(me, Ordering::Release);
+    }
+
+    #[cold]
+    fn enter_slow(&self) {
+        let kind = self.kind();
+        if kind.is_spin() {
+            // Spin variant: never sleep.
+            let mut spins = 0u32;
+            loop {
+                if self.word.load(Ordering::Relaxed) == UNLOCKED
+                    && self
+                        .word
+                        .compare_exchange_weak(
+                            UNLOCKED,
+                            LOCKED,
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    return;
+                }
+                core::hint::spin_loop();
+                spins += 1;
+                if spins % 1024 == 0 {
+                    strategy::yield_now();
+                }
+            }
+        }
+        if kind.is_adaptive() {
+            // Adaptive variant: assume the owner is mid-critical-section on
+            // another processor and will release soon; burn a bounded number
+            // of cycles before paying for a sleep. (The paper's adaptive
+            // lock asks the kernel whether the owner's LWP is running; we
+            // approximate with a fixed spin budget.)
+            for _ in 0..ADAPTIVE_SPINS {
+                if self.word.load(Ordering::Relaxed) == UNLOCKED
+                    && self
+                        .word
+                        .compare_exchange_weak(
+                            UNLOCKED,
+                            LOCKED,
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                {
+                    return;
+                }
+                core::hint::spin_loop();
+            }
+        }
+        // Sleep path: announce contention so the releaser knows to wake us.
+        let shared = kind.is_shared();
+        while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
+            strategy::park(&self.word, CONTENDED, shared);
+        }
+    }
+
+    /// `mutex_tryenter()`: acquires the lock only if that does not require
+    /// blocking; returns whether it was acquired.
+    ///
+    /// "Can be used to avoid deadlock in operations that would normally
+    /// violate the lock hierarchy."
+    #[inline]
+    pub fn try_enter(&self) -> bool {
+        let ok = self
+            .word
+            .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok && self.kind().is_debug() {
+            self.owner.store(strategy::self_id(), Ordering::Release);
+        }
+        ok
+    }
+
+    /// `mutex_exit()`: releases the lock, waking one waiter if any.
+    ///
+    /// Releasing a mutex the caller does not hold is a logic error (the
+    /// locks are "strictly bracketing"); debug builds detect release of an
+    /// unlocked mutex, and the `DEBUG` variant panics on release by a
+    /// non-holder in any build.
+    #[inline]
+    pub fn exit(&self) {
+        let kind = self.kind();
+        if kind.is_debug() {
+            let me = strategy::self_id();
+            assert_eq!(
+                self.owner.load(Ordering::Acquire),
+                me,
+                "DEBUG mutex: mutex_exit by a non-holder"
+            );
+            self.owner.store(0, Ordering::Release);
+        }
+        let prev = self.word.swap(UNLOCKED, Ordering::Release);
+        debug_assert_ne!(prev, UNLOCKED, "mutex_exit of an unheld mutex");
+        if prev == CONTENDED {
+            strategy::unpark(&self.word, 1, kind.is_shared());
+        }
+    }
+
+    /// Runs `f` with the lock held (RAII convenience over enter/exit).
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.enter();
+        let guard = ExitOnDrop(self);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// Whether the lock is currently held by someone (a racy snapshot, for
+    /// assertions and tests only).
+    pub fn is_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) != UNLOCKED
+    }
+}
+
+struct ExitOnDrop<'a>(&'a Mutex);
+
+impl Drop for ExitOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zeroed_bytes_are_a_valid_unlocked_mutex() {
+        // The paper's "allocated as zero may be used immediately" rule.
+        let zeroed = [0u8; core::mem::size_of::<Mutex>()];
+        // SAFETY: Mutex is repr(C) over two AtomicU32s; all-zero is the
+        // documented valid default state.
+        let m: &Mutex = unsafe { &*(zeroed.as_ptr() as *const Mutex) };
+        assert!(!m.is_locked());
+        assert!(m.try_enter());
+        assert!(!m.try_enter());
+        m.exit();
+    }
+
+    #[test]
+    fn enter_exit_round_trip() {
+        let m = Mutex::new(SyncType::DEFAULT);
+        m.enter();
+        assert!(m.is_locked());
+        m.exit();
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn try_enter_fails_when_held() {
+        let m = Mutex::new(SyncType::DEFAULT);
+        m.enter();
+        assert!(!m.try_enter());
+        m.exit();
+        assert!(m.try_enter());
+        m.exit();
+    }
+
+    fn hammer(kind: SyncType) {
+        const LWPS: usize = 4;
+        const ITERS: usize = 10_000;
+        struct Shared(std::cell::UnsafeCell<usize>);
+        // SAFETY: The cell is only accessed under the mutex being tested.
+        unsafe impl Sync for Shared {}
+        let m = Arc::new(Mutex::new(kind));
+        let counter = Arc::new(Shared(std::cell::UnsafeCell::new(0usize)));
+        let mut handles = Vec::new();
+        for _ in 0..LWPS {
+            let m = Arc::clone(&m);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    m.enter();
+                    // SAFETY: Exclusive by mutual exclusion.
+                    unsafe { *c.0.get() += 1 };
+                    m.exit();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: All writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, LWPS * ITERS);
+    }
+
+    #[test]
+    fn mutual_exclusion_default_variant() {
+        hammer(SyncType::DEFAULT);
+    }
+
+    #[test]
+    fn mutual_exclusion_spin_variant() {
+        hammer(SyncType::SPIN);
+    }
+
+    #[test]
+    fn mutual_exclusion_adaptive_variant() {
+        hammer(SyncType::ADAPTIVE);
+    }
+
+    #[test]
+    fn with_releases_on_exit() {
+        let m = Mutex::new(SyncType::DEFAULT);
+        let v = m.with(|| 41) + 1;
+        assert_eq!(v, 42);
+        assert!(!m.is_locked());
+    }
+
+    #[test]
+    fn debug_variant_allows_correct_bracketing() {
+        let m = Mutex::new(SyncType::DEBUG);
+        m.enter();
+        m.exit();
+        assert!(m.try_enter());
+        m.exit();
+        hammer(SyncType::DEBUG);
+    }
+
+    #[test]
+    #[should_panic(expected = "recursive mutex_enter")]
+    fn debug_variant_panics_on_recursive_enter() {
+        let m = Mutex::new(SyncType::DEBUG);
+        m.enter();
+        m.enter();
+    }
+
+    #[test]
+    #[should_panic(expected = "mutex_exit by a non-holder")]
+    fn debug_variant_panics_on_foreign_exit() {
+        let m = Arc::new(Mutex::new(SyncType::DEBUG));
+        m.enter();
+        let m2 = Arc::clone(&m);
+        // A different LWP releasing someone else's lock is caught.
+        let result = std::thread::spawn(move || m2.exit()).join();
+        // Re-panic in this thread so should_panic observes it.
+        if let Err(p) = result {
+            std::panic::resume_unwind(p);
+        }
+    }
+}

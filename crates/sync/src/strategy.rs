@@ -1,0 +1,164 @@
+//! Pluggable blocking: how a contended synchronization variable suspends the
+//! caller.
+//!
+//! The same `mutex_enter` call must (per the paper) block a *user-level
+//! thread* without kernel involvement when called from an unbound thread,
+//! and block the *LWP in the kernel* when called from a bound thread, from
+//! plain LWP code, or on a process-shared variable. This module is that
+//! dispatch point: sync variables park through the process-global
+//! [`BlockStrategy`], which the threads library replaces at startup.
+//!
+//! The contract is futex-shaped, which both backends implement naturally:
+//! `park(word, expected)` sleeps only while `*word == expected`, and
+//! `unpark(word, n)` releases up to `n` sleepers.
+
+use core::sync::atomic::AtomicU32;
+use std::sync::OnceLock;
+
+use sunmt_sys::futex::{self, Scope};
+use sunmt_sys::task;
+
+/// A blocking backend for synchronization variables.
+pub trait BlockStrategy: Sync {
+    /// Suspends the calling context until a matching [`Self::unpark`], if
+    /// `word` still holds `expected` at sleep time. Spurious returns are
+    /// allowed; callers always re-check their predicate.
+    ///
+    /// `shared` is true for `SYNC_SHARED` variables: those must always park
+    /// in the kernel so that waiters in *other processes* can be woken.
+    fn park(&self, word: &AtomicU32, expected: u32, shared: bool);
+
+    /// Wakes up to `n` contexts parked on `word`.
+    fn unpark(&self, word: &AtomicU32, n: u32, shared: bool);
+
+    /// Politely gives up the processor inside a spin loop.
+    fn yield_now(&self);
+
+    /// A stable identity for the current execution context, used by the
+    /// `DEBUG` variant's ownership tracking. The default is the kernel
+    /// task id; the threads library overrides it with the *thread* id so
+    /// ownership survives an unbound thread's migration between LWPs.
+    fn self_id(&self) -> u32 {
+        sunmt_sys::task::gettid()
+    }
+}
+
+/// The default strategy: block the calling LWP in the kernel.
+///
+/// This is the behaviour of plain LWP code with no threads library loaded —
+/// the degenerate "process = address space + one LWP" case the paper
+/// requires to behave like a standard UNIX process.
+pub struct KernelBlock;
+
+impl BlockStrategy for KernelBlock {
+    fn park(&self, word: &AtomicU32, expected: u32, shared: bool) {
+        let scope = if shared {
+            Scope::Shared
+        } else {
+            Scope::Private
+        };
+        // Mismatch and wake both mean "re-check"; real errors here are
+        // programming bugs (bad pointer), which mmap'd atomics preclude.
+        let _ = futex::wait(word, expected, scope);
+    }
+
+    fn unpark(&self, word: &AtomicU32, n: u32, shared: bool) {
+        let scope = if shared {
+            Scope::Shared
+        } else {
+            Scope::Private
+        };
+        let _ = futex::wake(word, n, scope);
+    }
+
+    fn yield_now(&self) {
+        task::sched_yield();
+    }
+}
+
+static KERNEL_BLOCK: KernelBlock = KernelBlock;
+static STRATEGY: OnceLock<&'static dyn BlockStrategy> = OnceLock::new();
+
+/// Installs the process-wide blocking strategy.
+///
+/// Called once by the threads library when it initializes; later calls are
+/// ignored (the first installation wins). Returns whether the installation
+/// took effect.
+pub fn install(strategy: &'static dyn BlockStrategy) -> bool {
+    STRATEGY.set(strategy).is_ok()
+}
+
+/// The current strategy ([`KernelBlock`] until something is installed).
+#[inline]
+pub fn current() -> &'static dyn BlockStrategy {
+    match STRATEGY.get() {
+        Some(s) => *s,
+        None => &KERNEL_BLOCK,
+    }
+}
+
+/// Parks through the current strategy; see [`BlockStrategy::park`].
+#[inline]
+pub fn park(word: &AtomicU32, expected: u32, shared: bool) {
+    if shared {
+        // Shared variables always block in the kernel, regardless of the
+        // installed strategy: a user-level sleep queue is invisible to the
+        // other processes mapping this variable.
+        KERNEL_BLOCK.park(word, expected, true);
+    } else {
+        current().park(word, expected, false);
+    }
+}
+
+/// Unparks through the current strategy; see [`BlockStrategy::unpark`].
+#[inline]
+pub fn unpark(word: &AtomicU32, n: u32, shared: bool) {
+    if shared {
+        KERNEL_BLOCK.unpark(word, n, true);
+    } else {
+        current().unpark(word, n, false);
+    }
+}
+
+/// Yields through the current strategy.
+#[inline]
+pub fn yield_now() {
+    current().yield_now();
+}
+
+/// The current execution context's identity (see [`BlockStrategy::self_id`]).
+#[inline]
+pub fn self_id() -> u32 {
+    current().self_id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn kernel_park_returns_on_value_mismatch() {
+        let w = AtomicU32::new(5);
+        // Must return immediately: the word does not hold `expected`.
+        park(&w, 0, false);
+        park(&w, 0, true);
+    }
+
+    #[test]
+    fn kernel_unpark_wakes_kernel_parker() {
+        let w = Arc::new(AtomicU32::new(0));
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || {
+            while w2.load(Ordering::Acquire) == 0 {
+                park(&w2, 0, false);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        w.store(1, Ordering::Release);
+        unpark(&w, u32::MAX, false);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Kernel error numbers.
+
+use core::fmt;
+
+/// A Linux error number as returned (negated) by a raw system call.
+///
+/// Only the codes this workspace actually encounters have named
+/// constructors; any other value round-trips through [`Errno::from_raw`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Errno(i32);
+
+impl Errno {
+    /// Operation not permitted.
+    pub const EPERM: Errno = Errno(1);
+    /// No such process.
+    pub const ESRCH: Errno = Errno(3);
+    /// Interrupted system call.
+    pub const EINTR: Errno = Errno(4);
+    /// Try again / would block (`EWOULDBLOCK`).
+    pub const EAGAIN: Errno = Errno(11);
+    /// Out of memory.
+    pub const ENOMEM: Errno = Errno(12);
+    /// Bad address.
+    pub const EFAULT: Errno = Errno(14);
+    /// Device or resource busy.
+    pub const EBUSY: Errno = Errno(16);
+    /// Invalid argument.
+    pub const EINVAL: Errno = Errno(22);
+    /// Function not implemented.
+    pub const ENOSYS: Errno = Errno(38);
+    /// Connection timed out.
+    pub const ETIMEDOUT: Errno = Errno(110);
+
+    /// Wraps a raw (positive) error number.
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Errno {
+        Errno(raw)
+    }
+
+    /// Returns the raw (positive) error number.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    fn name(self) -> Option<&'static str> {
+        Some(match self.0 {
+            1 => "EPERM",
+            3 => "ESRCH",
+            4 => "EINTR",
+            11 => "EAGAIN",
+            12 => "ENOMEM",
+            14 => "EFAULT",
+            16 => "EBUSY",
+            22 => "EINVAL",
+            38 => "ENOSYS",
+            110 => "ETIMEDOUT",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Debug for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "Errno({})", self.0),
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_codes_round_trip() {
+        assert_eq!(Errno::EINVAL.raw(), 22);
+        assert_eq!(Errno::from_raw(22), Errno::EINVAL);
+        assert_eq!(format!("{:?}", Errno::EAGAIN), "EAGAIN");
+        assert_eq!(format!("{:?}", Errno::from_raw(77)), "Errno(77)");
+    }
+}

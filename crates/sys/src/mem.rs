@@ -1,0 +1,169 @@
+//! Memory-mapping system calls: anonymous mappings for thread stacks and
+//! shared file mappings for cross-process synchronization variables.
+
+use crate::errno::Errno;
+use crate::syscall::{check, nr, syscall2, syscall3, syscall6};
+
+/// Page protection bits (`PROT_*`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Prot(pub u32);
+
+impl Prot {
+    /// No access; used for stack guard pages.
+    pub const NONE: Prot = Prot(0);
+    /// Readable.
+    pub const READ: Prot = Prot(1);
+    /// Writable.
+    pub const WRITE: Prot = Prot(2);
+    /// Read + write.
+    pub const READ_WRITE: Prot = Prot(1 | 2);
+}
+
+const MAP_SHARED: usize = 0x01;
+const MAP_PRIVATE: usize = 0x02;
+const MAP_ANONYMOUS: usize = 0x20;
+
+/// Maps `len` bytes of zeroed, private anonymous memory.
+///
+/// Returns the mapping's base address. The mapping is page-aligned; `len`
+/// is rounded up to the page size by the kernel.
+pub fn map_anonymous(len: usize, prot: Prot) -> Result<*mut u8, Errno> {
+    // SAFETY: An anonymous private mapping at a kernel-chosen address cannot
+    // alias existing Rust objects; all arguments are plain integers.
+    let ret = unsafe {
+        syscall6(
+            nr::MMAP,
+            0,
+            len,
+            prot.0 as usize,
+            MAP_PRIVATE | MAP_ANONYMOUS,
+            usize::MAX, // fd = -1
+            0,
+        )
+    };
+    check(ret).map(|addr| addr as *mut u8)
+}
+
+/// Maps `len` bytes of a file object shared between processes.
+///
+/// The mapping observes and publishes stores made by every process mapping
+/// the same file — this is the substrate for the paper's "synchronization
+/// variables placed in files" (Figure 1).
+pub fn map_shared_file(fd: i32, offset: u64, len: usize) -> Result<*mut u8, Errno> {
+    // SAFETY: A shared file mapping at a kernel-chosen address cannot alias
+    // existing Rust objects; the fd and offset are validated by the kernel.
+    let ret = unsafe {
+        syscall6(
+            nr::MMAP,
+            0,
+            len,
+            Prot::READ_WRITE.0 as usize,
+            MAP_SHARED,
+            fd as usize,
+            offset as usize,
+        )
+    };
+    check(ret).map(|addr| addr as *mut u8)
+}
+
+/// Changes the protection of an existing mapping (used to carve guard pages
+/// out of stack mappings).
+///
+/// # Safety
+///
+/// `addr..addr+len` must lie within a mapping owned by the caller and must
+/// be page-aligned. Revoking access to memory that live references point
+/// into is undefined behavior.
+pub unsafe fn protect(addr: *mut u8, len: usize, prot: Prot) -> Result<(), Errno> {
+    // SAFETY: The caller guarantees the range is a private mapping it owns.
+    let ret = unsafe { syscall3(nr::MPROTECT, addr as usize, len, prot.0 as usize) };
+    check(ret).map(|_| ())
+}
+
+/// Unmaps a mapping created by this module.
+///
+/// # Safety
+///
+/// `addr..addr+len` must be exactly a mapping previously returned by
+/// [`map_anonymous`] or [`map_shared_file`], with no live references into it.
+pub unsafe fn unmap(addr: *mut u8, len: usize) -> Result<(), Errno> {
+    // SAFETY: The caller guarantees this is a whole owned mapping.
+    let ret = unsafe { syscall2(nr::MUNMAP, addr as usize, len) };
+    check(ret).map(|_| ())
+}
+
+/// The system page size.
+///
+/// x86-64 Linux uses 4 KiB pages; this constant is asserted at test time
+/// rather than queried through `sysconf` to keep the crate libc-free.
+pub const PAGE_SIZE: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_mapping_is_zeroed_and_writable() {
+        let len = 3 * PAGE_SIZE;
+        let p = map_anonymous(len, Prot::READ_WRITE).expect("mmap");
+        // SAFETY: `p` is a fresh RW mapping of `len` bytes.
+        unsafe {
+            for i in (0..len).step_by(PAGE_SIZE) {
+                assert_eq!(*p.add(i), 0);
+            }
+            p.write(0xAB);
+            assert_eq!(*p, 0xAB);
+            unmap(p, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn guard_page_can_be_revoked() {
+        let len = 2 * PAGE_SIZE;
+        let p = map_anonymous(len, Prot::READ_WRITE).expect("mmap");
+        // SAFETY: The first page of our own fresh mapping, with no live
+        // references into it.
+        unsafe {
+            protect(p, PAGE_SIZE, Prot::NONE).expect("mprotect");
+            // The second page must still be usable.
+            p.add(PAGE_SIZE).write(7);
+            assert_eq!(*p.add(PAGE_SIZE), 7);
+            unmap(p, len).expect("munmap");
+        }
+    }
+
+    #[test]
+    fn shared_file_mapping_round_trips() {
+        use std::io::Write as _;
+        use std::os::fd::AsRawFd;
+
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sunmt-sys-map-{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).expect("create");
+        f.write_all(&[0u8; PAGE_SIZE]).expect("fill");
+        f.sync_all().expect("sync");
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("reopen");
+        let p = map_shared_file(f.as_raw_fd(), 0, PAGE_SIZE).expect("mmap");
+        // SAFETY: Fresh RW shared mapping of PAGE_SIZE bytes.
+        unsafe {
+            p.add(10).write(42);
+            assert_eq!(*p.add(10), 42);
+            unmap(p, PAGE_SIZE).expect("munmap");
+        }
+        let bytes = std::fs::read(&path).expect("read back");
+        assert_eq!(bytes[10], 42, "store must be visible through the file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_unmap_reports_errno() {
+        // SAFETY: munmap of an unaligned address cannot touch any mapping;
+        // the kernel rejects it before acting.
+        let err = unsafe { unmap(1 as *mut u8, PAGE_SIZE) }.unwrap_err();
+        assert_eq!(err, Errno::EINVAL);
+    }
+}

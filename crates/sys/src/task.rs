@@ -1,0 +1,44 @@
+//! Kernel task identity and scheduling hooks.
+
+use crate::syscall::{check, nr, syscall0};
+
+/// Returns the kernel task id of the calling LWP.
+///
+/// On Linux every thread is a task with its own id — the direct analog of
+/// the paper's per-LWP "LWP ID ... maintained by the kernel".
+pub fn gettid() -> u32 {
+    // SAFETY: GETTID takes no arguments and has no memory effects.
+    unsafe { syscall0(nr::GETTID) as u32 }
+}
+
+/// Returns the process id.
+pub fn getpid() -> u32 {
+    // SAFETY: GETPID takes no arguments and has no memory effects.
+    unsafe { syscall0(nr::GETPID) as u32 }
+}
+
+/// Yields the calling LWP's processor to another runnable LWP.
+pub fn sched_yield() {
+    // SAFETY: SCHED_YIELD takes no arguments and has no memory effects.
+    let _ = check(unsafe { syscall0(nr::SCHED_YIELD) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_thread_tid_equals_pid() {
+        // Run in a dedicated thread so this holds regardless of which test
+        // thread executes first: a *non*-main thread must have tid != pid.
+        let h = std::thread::spawn(|| (gettid(), getpid()));
+        let (tid, pid) = h.join().unwrap();
+        assert_eq!(pid, std::process::id());
+        assert_ne!(tid, pid, "a spawned LWP has its own kernel task id");
+    }
+
+    #[test]
+    fn yield_returns() {
+        sched_yield();
+    }
+}

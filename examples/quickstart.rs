@@ -1,0 +1,59 @@
+//! Quickstart: create threads, synchronize, wait — the core of the
+//! Figure 4 API in twenty lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sunos_mt::sync::{Condvar, Mutex, SyncType};
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+fn main() {
+    // A monitor: mutex + condition variable + predicate (the paper's
+    // canonical cv_wait idiom).
+    struct Monitor {
+        m: Mutex,
+        cv: Condvar,
+        arrived: AtomicUsize,
+    }
+    let mon = Arc::new(Monitor {
+        m: Mutex::new(SyncType::DEFAULT),
+        cv: Condvar::new(SyncType::DEFAULT),
+        arrived: AtomicUsize::new(0),
+    });
+
+    const N: usize = 10;
+    let mut ids = Vec::new();
+    for i in 0..N {
+        let mon = Arc::clone(&mon);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT) // We will thread_wait() for it.
+                .spawn(move || {
+                    println!("thread {i}: hello from {:?}", threads::get_id());
+                    mon.m.enter();
+                    mon.arrived.fetch_add(1, Ordering::Relaxed);
+                    mon.cv.signal();
+                    mon.m.exit();
+                })
+                .expect("thread_create"),
+        );
+    }
+
+    // Wait on the monitor until every thread has checked in.
+    mon.m.enter();
+    while mon.arrived.load(Ordering::Relaxed) < N {
+        mon.cv.wait(&mon.m);
+    }
+    mon.m.exit();
+
+    // Reap them all (thread_wait).
+    for id in ids {
+        threads::wait(Some(id)).expect("thread_wait");
+    }
+    println!(
+        "all {N} threads arrived and were reaped; pool used {} LWPs",
+        threads::concurrency()
+    );
+}

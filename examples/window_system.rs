@@ -1,0 +1,99 @@
+//! The paper's window-system motivation: "a window system can treat each
+//! widget as a separate entity ... although the window system may be best
+//! expressed as a large number of threads, only a few of the threads ever
+//! need to be active ... at the same instant."
+//!
+//! This example builds 2000 widget threads — one input handler per widget,
+//! exactly the structure the paper says 1:1 packages cannot afford — and
+//! drives a stream of events through a handful of hot widgets. Watch the
+//! LWP pool stay tiny while thousands of threads exist.
+//!
+//! Run with: `cargo run --release --example window_system`
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sunos_mt::sync::{Sema, SyncType};
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+const WIDGETS: usize = 2000;
+const EVENTS: usize = 10_000;
+const HOT: usize = 8;
+
+struct Widget {
+    inbox: Sema,
+    handled: AtomicUsize,
+}
+
+fn main() {
+    threads::init();
+    let widgets: Arc<Vec<Widget>> = Arc::new(
+        (0..WIDGETS)
+            .map(|_| Widget {
+                inbox: Sema::new(0, SyncType::DEFAULT),
+                handled: AtomicUsize::new(0),
+            })
+            .collect(),
+    );
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let total_handled = Arc::new(AtomicUsize::new(0));
+
+    // One input-handler thread per widget: thousands of threads, each just
+    // a data structure plus a stack.
+    let mut ids = Vec::with_capacity(WIDGETS);
+    for w in 0..WIDGETS {
+        let widgets = Arc::clone(&widgets);
+        let total = Arc::clone(&total_handled);
+        let shutdown = Arc::clone(&shutdown);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || loop {
+                    widgets[w].inbox.p();
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    widgets[w].handled.fetch_add(1, Ordering::Relaxed);
+                    total.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("widget thread"),
+        );
+    }
+    println!(
+        "created {WIDGETS} widget threads; LWP pool size: {}",
+        threads::concurrency()
+    );
+
+    // The event source: events land on a few hot widgets.
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..EVENTS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        widgets[(x as usize) % HOT].inbox.v();
+    }
+    while total_handled.load(Ordering::Relaxed) < EVENTS {
+        threads::yield_now();
+    }
+    println!(
+        "{EVENTS} events handled with a pool of {} LWPs; hot-widget counts:",
+        threads::concurrency()
+    );
+    for (w, widget) in widgets.iter().take(HOT).enumerate() {
+        println!("  widget {w}: {}", widget.handled.load(Ordering::Relaxed));
+    }
+
+    // Shut down: every widget thread is blocked on its inbox; one V each
+    // with the shutdown flag set releases them.
+    shutdown.store(true, Ordering::Release);
+    for w in widgets.iter() {
+        w.inbox.v();
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("thread_wait");
+    }
+    println!(
+        "clean shutdown of {WIDGETS} threads; final pool size {}",
+        threads::concurrency()
+    );
+}

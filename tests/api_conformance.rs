@@ -1,0 +1,209 @@
+//! FIG4 conformance: every function in the paper's Figure 4 exists under
+//! its original name and behaves as specified. This test is the index the
+//! DESIGN.md experiment table points at for Figure 4.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use sunos_mt::sync::{Condvar, Mutex, RwLock, RwType, Sema, SyncType};
+use sunos_mt::threads::api::*;
+use sunos_mt::threads::signals::{self, MaskHow};
+use sunos_mt::threads::{CreateFlags, ThreadId};
+
+#[test]
+fn thread_create_and_thread_wait() {
+    let ran = Arc::new(AtomicU32::new(0));
+    let r = Arc::clone(&ran);
+    let id = thread_create(CreateFlags::WAIT, move || {
+        r.store(1, Ordering::SeqCst);
+    })
+    .expect("thread_create");
+    assert_eq!(thread_wait(Some(id)).expect("thread_wait"), id);
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn thread_create_sized_stack() {
+    let id = thread_create_sized(256 * 1024, CreateFlags::WAIT, || {
+        // Use a chunk of the larger stack.
+        let big = [0u8; 64 * 1024];
+        std::hint::black_box(&big);
+    })
+    .expect("thread_create_sized");
+    thread_wait(Some(id)).expect("thread_wait");
+}
+
+#[test]
+fn thread_create_on_programmer_stack() {
+    // "If stack_addr is not NULL, stack_size bytes of memory starting at
+    // stack_addr are used for the thread stack." Reclaimed only after
+    // thread_wait returns.
+    let mut region = vec![0u8; 128 * 1024];
+    let done = Arc::new(AtomicU32::new(0));
+    let d = Arc::clone(&done);
+    // SAFETY: `region` outlives the thread (we thread_wait before drop) and
+    // is used by nothing else.
+    let id = unsafe {
+        thread_create_on_stack(
+            region.as_mut_ptr(),
+            region.len(),
+            CreateFlags::WAIT,
+            move || {
+                d.store(7, Ordering::SeqCst);
+            },
+        )
+    }
+    .expect("thread_create_on_stack");
+    thread_wait(Some(id)).expect("thread_wait");
+    assert_eq!(done.load(Ordering::SeqCst), 7);
+    drop(region); // Now legal to reclaim.
+}
+
+#[test]
+fn thread_get_id_is_stable_and_unique() {
+    let me = thread_get_id();
+    assert_eq!(thread_get_id(), me);
+    let other = Arc::new(AtomicU32::new(0));
+    let o = Arc::clone(&other);
+    let id = thread_create(CreateFlags::WAIT, move || {
+        o.store(thread_get_id().0, Ordering::SeqCst);
+    })
+    .expect("thread_create");
+    thread_wait(Some(id)).expect("thread_wait");
+    assert_ne!(other.load(Ordering::SeqCst), me.0);
+}
+
+#[test]
+fn thread_exit_terminates_early() {
+    let after = Arc::new(AtomicU32::new(0));
+    let a = Arc::clone(&after);
+    let id = thread_create(CreateFlags::WAIT, move || {
+        if a.load(Ordering::SeqCst) == 0 {
+            thread_exit();
+        }
+        unreachable!("code after thread_exit ran");
+    })
+    .expect("thread_create");
+    thread_wait(Some(id)).expect("thread_wait");
+    // "The exit status of a thread is always zero" — nothing to check
+    // beyond clean reaping.
+}
+
+#[test]
+fn thread_stop_and_thread_continue() {
+    let progress = Arc::new(AtomicU32::new(0));
+    let p = Arc::clone(&progress);
+    let id = thread_create(CreateFlags::WAIT | CreateFlags::STOP, move || {
+        p.store(1, Ordering::SeqCst);
+    })
+    .expect("thread_create");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert_eq!(progress.load(Ordering::SeqCst), 0);
+    thread_continue(id).expect("thread_continue");
+    thread_wait(Some(id)).expect("thread_wait");
+    assert_eq!(progress.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn thread_priority_returns_old_value() {
+    let old = thread_priority(None, 7).expect("thread_priority");
+    assert!(old >= 0);
+    assert_eq!(thread_priority(None, old).expect("restore"), 7);
+}
+
+#[test]
+fn thread_setconcurrency_accepts_zero_and_n() {
+    thread_setconcurrency(2).expect("explicit");
+    thread_setconcurrency(0).expect("automatic");
+}
+
+#[test]
+fn thread_sigsetmask_and_thread_kill() {
+    let hits = Arc::new(AtomicU32::new(0));
+    let h = Arc::clone(&hits);
+    signals::set_disposition(
+        signals::sig::SIGINT,
+        signals::Disposition::Handler(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        })),
+    )
+    .expect("set handler");
+    let old = thread_sigsetmask(MaskHow::Block, 1 << signals::sig::SIGINT);
+    thread_kill(thread_get_id(), signals::sig::SIGINT).expect("thread_kill");
+    assert_eq!(hits.load(Ordering::SeqCst), 0, "masked signal must pend");
+    thread_sigsetmask(MaskHow::Unblock, 1 << signals::sig::SIGINT);
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "unmasking delivers");
+    thread_sigsetmask(MaskHow::SetMask, old);
+}
+
+#[test]
+fn thread_kill_unknown_thread_errors() {
+    assert!(thread_kill(ThreadId(u32::MAX - 17), signals::sig::SIGINT).is_err());
+}
+
+#[test]
+fn mutex_functions_by_paper_name() {
+    let m = Mutex::new(SyncType::DEFAULT);
+    mutex_init(&m, SyncType::DEFAULT);
+    mutex_enter(&m);
+    assert!(!mutex_tryenter(&m));
+    mutex_exit(&m);
+    assert!(mutex_tryenter(&m));
+    mutex_exit(&m);
+}
+
+#[test]
+fn condvar_functions_by_paper_name() {
+    let m = Mutex::new(SyncType::DEFAULT);
+    let cv = Condvar::new(SyncType::DEFAULT);
+    cv_init(&cv, SyncType::DEFAULT);
+    // The paper's monitor idiom with an already-true predicate.
+    let ready = true;
+    mutex_enter(&m);
+    while !ready {
+        cv_wait(&cv, &m);
+    }
+    mutex_exit(&m);
+    cv_signal(&cv);
+    cv_broadcast(&cv);
+}
+
+#[test]
+fn sema_functions_by_paper_name() {
+    let s = Sema::new(0, SyncType::DEFAULT);
+    sema_init(&s, 2, SyncType::DEFAULT);
+    sema_p(&s);
+    assert!(sema_tryp(&s));
+    assert!(!sema_tryp(&s));
+    sema_v(&s);
+    sema_p(&s);
+}
+
+#[test]
+fn rwlock_functions_by_paper_name() {
+    let l = RwLock::new(SyncType::DEFAULT);
+    rw_init(&l, SyncType::DEFAULT);
+    rw_enter(&l, RwType::Reader);
+    assert!(rw_tryenter(&l, RwType::Reader));
+    rw_exit(&l);
+    assert!(rw_tryupgrade(&l));
+    rw_downgrade(&l);
+    rw_exit(&l);
+    rw_enter(&l, RwType::Writer);
+    assert!(!rw_tryenter(&l, RwType::Reader));
+    rw_exit(&l);
+}
+
+#[test]
+fn waitid_style_any_wait() {
+    // "P_THREAD_ALL: waitid() waits for any thread marked THREAD_WAIT."
+    let id = thread_create(CreateFlags::WAIT, || {}).expect("thread_create");
+    let got = thread_wait(None).expect("thread_wait(NULL)");
+    // Some WAIT thread was reaped (possibly ours, possibly a concurrent
+    // test's); the returned id must be valid-but-now-unusable.
+    assert!(
+        thread_wait(Some(got)).is_err(),
+        "reaped id must be unusable"
+    );
+    let _ = id;
+}

@@ -1,0 +1,131 @@
+//! Thread-local ("unshared") storage: the success path, in its own process
+//! so registration reliably precedes the first thread.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use sunos_mt::threads::tls::{errno, Unshared};
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+// Register everything once, before any test creates a thread. Test order
+// within this file is arbitrary, so registration goes through a OnceLock
+// touched by every test first.
+struct Keys {
+    counter: Unshared<u64>,
+    flag: Unshared<bool>,
+    aligned: Unshared<u64>,
+    byte: Unshared<u8>,
+}
+
+fn keys() -> &'static Keys {
+    static KEYS: OnceLock<Keys> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let keys = Keys {
+            counter: Unshared::register().expect("register before first thread"),
+            flag: Unshared::register().expect("register"),
+            byte: Unshared::register().expect("register"),
+            aligned: Unshared::register().expect("register"),
+        };
+        // errno registers lazily inside this call, then the first access
+        // adopts the calling thread and freezes the layout — so it must be
+        // the *last* registration.
+        errno::set(0);
+        keys
+    })
+}
+
+#[test]
+fn each_thread_sees_zeroed_private_copy() {
+    let k = keys();
+    k.counter.set(111);
+    k.flag.set(true);
+    let observed = Arc::new(AtomicI64::new(-1));
+    let o = Arc::clone(&observed);
+    let id = ThreadBuilder::new()
+        .flags(CreateFlags::WAIT)
+        .spawn(move || {
+            let k = keys();
+            // "The contents of thread-local storage are zeroed, initially."
+            assert_eq!(k.counter.get(), 0);
+            assert!(!k.flag.get());
+            k.counter.set(222);
+            o.store(k.counter.get() as i64, Ordering::SeqCst);
+        })
+        .expect("spawn");
+    threads::wait(Some(id)).expect("wait");
+    assert_eq!(observed.load(Ordering::SeqCst), 222);
+    // Our copy is untouched by the other thread's writes.
+    assert_eq!(k.counter.get(), 111);
+    assert!(k.flag.get());
+}
+
+#[test]
+fn errno_is_per_thread() {
+    // The paper's worked example: "each thread has its own copy of
+    // thread-local variables ... errno is a good example."
+    let _ = keys();
+    errno::set(42);
+    let child_errno = Arc::new(AtomicI64::new(-1));
+    let c = Arc::clone(&child_errno);
+    let id = ThreadBuilder::new()
+        .flags(CreateFlags::WAIT)
+        .spawn(move || {
+            assert_eq!(errno::get(), 0, "fresh thread starts with errno 0");
+            errno::set(7);
+            c.store(errno::get() as i64, Ordering::SeqCst);
+        })
+        .expect("spawn");
+    threads::wait(Some(id)).expect("wait");
+    assert_eq!(child_errno.load(Ordering::SeqCst), 7);
+    assert_eq!(errno::get(), 42, "the child's errno must not leak here");
+}
+
+#[test]
+fn unshared_variables_are_aligned() {
+    let k = keys();
+    // A u64 slot registered after a u8 must still be readable/writable
+    // (i.e. the registration aligned its offset).
+    k.byte.set(0xAB);
+    k.aligned.set(0xDEAD_BEEF_CAFE_F00D);
+    assert_eq!(k.byte.get(), 0xAB);
+    assert_eq!(k.aligned.get(), 0xDEAD_BEEF_CAFE_F00D);
+}
+
+#[test]
+fn registration_after_first_thread_fails() {
+    let _ = keys();
+    // Force the freeze by creating a thread.
+    let id = ThreadBuilder::new()
+        .flags(CreateFlags::WAIT)
+        .spawn(|| {})
+        .expect("spawn");
+    threads::wait(Some(id)).expect("wait");
+    // "Once the size is computed it is not changed."
+    assert!(Unshared::<u32>::register().is_err());
+    assert!(sunos_mt::threads::tls::is_frozen());
+}
+
+#[test]
+fn many_threads_many_copies() {
+    let k = keys();
+    const N: usize = 64;
+    let mut ids = Vec::new();
+    for i in 0..N as u64 {
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    let k = keys();
+                    assert_eq!(k.counter.get(), 0);
+                    k.counter.set(i + 1);
+                    threads::yield_now(); // Interleave with other threads.
+                    assert_eq!(k.counter.get(), i + 1, "another thread corrupted my TLS");
+                })
+                .expect("spawn"),
+        );
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+    let _ = k;
+}

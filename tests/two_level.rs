@@ -1,0 +1,236 @@
+//! Whole-architecture integration: the two-level model under combined
+//! load — bound and unbound threads, every synchronization type, pool
+//! reconfiguration, stop/continue, and blocking regions, all at once.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sunos_mt::sync::{Condvar, Mutex, RwLock, RwType, Sema, SyncType};
+use sunos_mt::threads::{self, blocking, CreateFlags, ThreadBuilder};
+
+#[test]
+fn mixed_bound_and_unbound_threads_share_every_primitive() {
+    struct World {
+        m: Mutex,
+        cv: Condvar,
+        rw: RwLock,
+        sem: Sema,
+        counter: AtomicUsize,
+        phase: AtomicU32,
+    }
+    let w = Arc::new(World {
+        m: Mutex::new(SyncType::DEFAULT),
+        cv: Condvar::new(SyncType::DEFAULT),
+        rw: RwLock::new(SyncType::DEFAULT),
+        sem: Sema::new(0, SyncType::DEFAULT),
+        counter: AtomicUsize::new(0),
+        phase: AtomicU32::new(0),
+    });
+    const PER_KIND: usize = 6;
+    let mut ids = Vec::new();
+    for i in 0..PER_KIND * 2 {
+        let flags = if i % 2 == 0 {
+            CreateFlags::WAIT
+        } else {
+            CreateFlags::WAIT | CreateFlags::BIND_LWP
+        };
+        let w = Arc::clone(&w);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(flags)
+                .spawn(move || {
+                    // Phase 0: wait on the monitor for the green light.
+                    w.m.enter();
+                    while w.phase.load(Ordering::Relaxed) == 0 {
+                        w.cv.wait(&w.m);
+                    }
+                    w.m.exit();
+                    // Phase 1: hammer the rwlock (readers + one writer each).
+                    for _ in 0..50 {
+                        w.rw.enter(RwType::Reader);
+                        w.rw.exit();
+                    }
+                    w.rw.enter(RwType::Writer);
+                    w.counter.fetch_add(1, Ordering::SeqCst);
+                    w.rw.exit();
+                    // Phase 2: signal completion.
+                    w.sem.v();
+                })
+                .expect("spawn"),
+        );
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    w.m.enter();
+    w.phase.store(1, Ordering::Relaxed);
+    w.cv.broadcast();
+    w.m.exit();
+    for _ in 0..PER_KIND * 2 {
+        w.sem.p();
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+    assert_eq!(w.counter.load(Ordering::SeqCst), PER_KIND * 2);
+}
+
+#[test]
+fn pool_reconfiguration_under_load() {
+    let stop = Arc::new(AtomicU32::new(0));
+    let spins = Arc::new(AtomicUsize::new(0));
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        let (stop, spins) = (Arc::clone(&stop), Arc::clone(&spins));
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        spins.fetch_add(1, Ordering::Relaxed);
+                        threads::yield_now();
+                    }
+                })
+                .expect("spawn"),
+        );
+    }
+    // Shrink and grow the pool while the threads churn.
+    for n in [4usize, 1, 6, 2, 3] {
+        threads::set_concurrency(n).expect("setconcurrency");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let before = spins.load(Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(
+        spins.load(Ordering::Relaxed) > before,
+        "threads must keep making progress through reconfiguration"
+    );
+    stop.store(1, Ordering::Relaxed);
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+    threads::set_concurrency(0).expect("setconcurrency");
+}
+
+#[test]
+fn blocking_regions_do_not_starve_runnable_threads() {
+    // Several threads sit in indefinite blocking regions while compute
+    // threads keep running — the SIGWAITING machinery in anger.
+    let release = Arc::new(AtomicU32::new(0));
+    let computed = Arc::new(AtomicUsize::new(0));
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let r = Arc::clone(&release);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    blocking(|| {
+                        while r.load(Ordering::Relaxed) == 0 {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    });
+                })
+                .expect("spawn"),
+        );
+    }
+    for _ in 0..4 {
+        let c = Arc::clone(&computed);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("spawn"),
+        );
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while computed.load(Ordering::SeqCst) < 4 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compute threads starved behind blocking regions"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    release.store(1, Ordering::Relaxed);
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+}
+
+#[test]
+fn stop_continue_cycles_are_lossless() {
+    let progress = Arc::new(AtomicUsize::new(0));
+    let stop_flag = Arc::new(AtomicU32::new(0));
+    let (p, s) = (Arc::clone(&progress), Arc::clone(&stop_flag));
+    let id = ThreadBuilder::new()
+        .flags(CreateFlags::WAIT)
+        .spawn(move || {
+            while s.load(Ordering::Relaxed) == 0 {
+                p.fetch_add(1, Ordering::Relaxed);
+                threads::yield_now();
+            }
+        })
+        .expect("spawn");
+    for _ in 0..10 {
+        threads::stop(Some(id)).expect("stop");
+        let frozen = progress.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(progress.load(Ordering::SeqCst), frozen);
+        threads::cont(id).expect("continue");
+        // Give it a moment to run again.
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    stop_flag.store(1, Ordering::Relaxed);
+    threads::wait(Some(id)).expect("wait");
+}
+
+#[test]
+fn deep_creation_chain() {
+    // Threads creating threads creating threads — creation from any
+    // context, as in the paper's model.
+    fn chain(depth: usize, done: Arc<Sema>) {
+        if depth == 0 {
+            done.v();
+            return;
+        }
+        let id = ThreadBuilder::new()
+            .flags(CreateFlags::WAIT)
+            .spawn(move || chain(depth - 1, done))
+            .expect("spawn");
+        threads::wait(Some(id)).expect("wait");
+    }
+    let done = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    chain(32, Arc::clone(&done));
+    done.p();
+}
+
+#[test]
+fn thousands_of_threads_exist_concurrently() {
+    // The paper's scale claim: "there can be thousands present".
+    const N: usize = 2_000;
+    let gate = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let mut ids = Vec::with_capacity(N);
+    for _ in 0..N {
+        let g = Arc::clone(&gate);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || g.p())
+                .expect("spawn"),
+        );
+    }
+    // All N threads are alive right now, blocked on one semaphore.
+    let stats = threads::stats();
+    assert!(
+        stats.live_threads >= N,
+        "expected >= {N} live threads, saw {}",
+        stats.live_threads
+    );
+    for _ in 0..N {
+        gate.v();
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+}
