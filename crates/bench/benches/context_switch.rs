@@ -1,13 +1,13 @@
 //! Micro-benchmarks of the context-switch substrate: the self-switch
 //! baseline, a full coroutine round trip, and unbound thread yield.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sunmt::{CreateFlags, ThreadBuilder};
 use sunmt_baselines::coro::{self, N1Scheduler};
+use sunmt_bench::harness::Group;
 use sunmt_context::arch::MachContext;
 
-fn bench_context(c: &mut Criterion) {
-    let mut g = c.benchmark_group("context_switch");
+fn main() {
+    let mut g = Group::new("context_switch");
 
     g.bench_function("self_switch", |b| {
         let mut ctx = MachContext::zeroed();
@@ -53,6 +53,3 @@ fn bench_context(c: &mut Criterion) {
 
     g.finish();
 }
-
-criterion_group!(benches, bench_context);
-criterion_main!(benches);

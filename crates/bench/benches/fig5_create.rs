@@ -1,13 +1,13 @@
-//! Criterion version of Figure 5: thread creation time.
+//! Harnessed version of Figure 5: thread creation time.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::harness::Group;
 
 /// Creates `n` suspended threads in bounded batches (only creation is
-/// timed; reaping is not). Batching caps live threads and stacks, so
-/// criterion may push `n` arbitrarily high without exhausting memory.
+/// timed; reaping is not). Batching caps live threads and stacks, so the
+/// harness may push `n` arbitrarily high without exhausting memory.
 fn create_many(flags: CreateFlags, n: u64) -> Duration {
     let batch = if flags.contains(CreateFlags::BIND_LWP) {
         16
@@ -38,13 +38,13 @@ fn create_many(flags: CreateFlags, n: u64) -> Duration {
     total
 }
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
     sunmt::init();
     // Warm the stack cache so creations measure the cached path, as in the
     // paper.
     create_many(CreateFlags::NONE, 64);
 
-    let mut g = c.benchmark_group("fig5_thread_create");
+    let mut g = Group::new("fig5_thread_create");
     g.bench_function("unbound", |b| {
         b.iter_custom(|iters| create_many(CreateFlags::NONE, iters))
     });
@@ -54,6 +54,3 @@ fn bench_fig5(c: &mut Criterion) {
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

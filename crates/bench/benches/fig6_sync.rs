@@ -1,10 +1,10 @@
-//! Criterion version of Figure 6: thread synchronization time.
+//! Harnessed version of Figure 6: thread synchronization time.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::harness::Group;
 use sunmt_context::arch::MachContext;
 use sunmt_sync::{Sema, SyncType};
 
@@ -42,11 +42,11 @@ fn ping_pong(flags: CreateFlags, rounds: u64) -> Duration {
     out
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     sunmt::init();
     sunmt::set_concurrency(1).expect("setconcurrency");
 
-    let mut g = c.benchmark_group("fig6_sync");
+    let mut g = Group::new("fig6_sync");
     g.bench_function("setjmp_longjmp_baseline", |b| {
         let mut ctx = MachContext::zeroed();
         b.iter(|| sunmt_context::self_switch(&mut ctx));
@@ -61,6 +61,3 @@ fn bench_fig6(c: &mut Criterion) {
     g.finish();
     sunmt::set_concurrency(0).expect("setconcurrency");
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

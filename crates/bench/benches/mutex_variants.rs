@@ -1,11 +1,11 @@
 //! Micro-benchmarks of every synchronization variable's fast path, plus
 //! the mutex implementation variants.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sunmt_bench::harness::Group;
 use sunmt_sync::{Condvar, Mutex, RwLock, RwType, Sema, SyncType};
 
-fn bench_sync_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sync_fast_paths");
+fn main() {
+    let mut g = Group::new("sync_fast_paths");
 
     for (name, kind) in [
         ("mutex_default", SyncType::DEFAULT),
@@ -49,6 +49,3 @@ fn bench_sync_primitives(c: &mut Criterion) {
 
     g.finish();
 }
-
-criterion_group!(benches, bench_sync_primitives);
-criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Probe-overhead bench: what a trace point costs disabled, enabled, and
+//! compiled out.
+//!
+//! The "compiled out" row is an empty loop over the same payload
+//! computation — exactly what `probe!` reduces to when `sunmt-trace` is
+//! built with its `off` feature (the enabled-check becomes a constant
+//! `false` and the body is deleted). Building the whole workspace twice in
+//! one bench isn't possible, so the empty loop stands in for that build.
+
+use sunmt_bench::harness::Group;
+use sunmt_trace::{probe, Tag};
+
+fn main() {
+    let mut g = Group::new("trace_overhead");
+
+    g.bench_function("compiled_out_equivalent", |b| {
+        b.iter(|| std::hint::black_box(7u64).wrapping_mul(3))
+    });
+
+    sunmt_trace::disable();
+    g.bench_function("probe_disabled", |b| {
+        b.iter(|| {
+            let x = std::hint::black_box(7u64).wrapping_mul(3);
+            probe!(Tag::RunqPush, x);
+            x
+        })
+    });
+
+    sunmt_trace::enable();
+    g.bench_function("probe_enabled", |b| {
+        b.iter(|| {
+            let x = std::hint::black_box(7u64).wrapping_mul(3);
+            probe!(Tag::RunqPush, x);
+            x
+        })
+    });
+    sunmt_trace::disable();
+
+    let [(_, base), (_, off), (_, on)] = g.results() else {
+        unreachable!("three benches above");
+    };
+    println!(
+        "disabled-probe overhead: {:.2} ns (enabled: {:.2} ns)",
+        off - base,
+        on - base
+    );
+    g.finish();
+}

@@ -88,6 +88,10 @@ fn main() {
             "context: N:1 coroutine create {coro_us:.2} us, std::thread::spawn {std_us:.2} us"
         ));
     t.print();
+    if let Err(e) = t.write_json_if_requested("fig5_thread_create", std::env::args()) {
+        eprintln!("fig5_thread_create: {e}");
+        std::process::exit(2);
+    }
 
     assert!(
         bound_us > unbound_us,

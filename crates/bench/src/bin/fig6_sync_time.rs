@@ -76,6 +76,10 @@ fn main() {
         cross_us / bound_us
     ));
     t.print();
+    if let Err(e) = t.write_json_if_requested("fig6_sync_time", std::env::args()) {
+        eprintln!("fig6_sync_time: {e}");
+        std::process::exit(2);
+    }
 
     assert!(
         unbound_us < bound_us,

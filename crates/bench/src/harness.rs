@@ -1,0 +1,149 @@
+//! A minimal micro-benchmark harness (the repo's `criterion` stand-in).
+//!
+//! The workspace builds with no external crates, so the `harness = false`
+//! bench binaries drive their measurements through this module instead of
+//! criterion. The API deliberately mirrors the criterion subset the benches
+//! use — `Group::bench_function` with `Bencher::iter`/`iter_custom` — so a
+//! bench reads the same either way.
+//!
+//! Methodology: each benchmark is calibrated to a target sample duration,
+//! then measured over several samples; the *median* per-iteration time is
+//! reported (robust to scheduler noise on a loaded machine).
+
+use std::time::Duration;
+
+/// Target wall time for one calibrated sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+
+/// Samples taken per benchmark; the median is reported.
+const DEFAULT_SAMPLES: usize = 7;
+
+/// A named group of benchmarks, printed as a table as they run.
+pub struct Group {
+    name: String,
+    samples: usize,
+    results: Vec<(String, f64)>,
+}
+
+impl Group {
+    /// Creates a group with the given report heading.
+    pub fn new(name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        Group {
+            name,
+            samples: DEFAULT_SAMPLES,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of samples (criterion-compatible knob; the median
+    /// over samples is reported either way).
+    pub fn sample_size(&mut self, n: usize) -> &mut Group {
+        self.samples = n.clamp(3, 101);
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Group {
+        let name = name.into();
+        let mut times = Vec::with_capacity(self.samples);
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration: grow the iteration count until one sample takes
+        // SAMPLE_TARGET (capped to keep pathological benches bounded).
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= SAMPLE_TARGET || b.iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (SAMPLE_TARGET.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64 + 1
+            };
+            b.iters = (b.iters * grow.clamp(2, 16)).min(1 << 24);
+        }
+        for _ in 0..self.samples {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() * 1e9 / b.iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        println!(
+            "  {name:<28} {median:>12.2} ns/iter ({} iters/sample)",
+            b.iters
+        );
+        self.results.push((name, median));
+        self
+    }
+
+    /// The `(name, ns_per_iter)` results measured so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Finishes the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!("benchmark group done: {}", self.name);
+    }
+}
+
+/// Drives the measured closure; mirrors criterion's `Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` repetitions of `f` (the common case).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = sunmt_sys::time::monotonic_now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = sunmt_sys::time::monotonic_now() - start;
+    }
+
+    /// Hands the iteration count to `f`, which returns the time it measured
+    /// (for benches that must exclude setup, like batched thread creation).
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_a_sane_time() {
+        let mut g = Group::new("harness-selftest");
+        g.sample_size(3);
+        g.bench_function("mul", |b| {
+            b.iter(|| std::hint::black_box(3u64).wrapping_mul(17))
+        });
+        let (_, ns) = &g.results()[0];
+        assert!(*ns > 0.0 && *ns < 1_000.0, "a multiply took {ns} ns");
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_passes_iteration_count_through() {
+        let mut g = Group::new("harness-custom");
+        g.sample_size(3);
+        g.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+        let (_, ns) = &g.results()[0];
+        assert!((*ns - 100.0).abs() < 1.0, "expected ~100 ns/iter, got {ns}");
+    }
+}

@@ -6,6 +6,9 @@
 
 #![deny(missing_docs)]
 
+pub mod harness;
+pub mod rng;
+
 use std::time::Duration;
 
 /// Measures `iters` repetitions of `f` and returns the mean per-iteration
@@ -101,6 +104,75 @@ impl PaperTable {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Renders the table as a machine-readable JSON document, so the perf
+    /// trajectory of each figure is comparable across PRs
+    /// (`BENCH_fig5.json` / `BENCH_fig6.json`).
+    pub fn to_json(&self, bench: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"bench\":{},", json_str(bench));
+        let _ = write!(out, "\"title\":{},", json_str(&self.title));
+        out.push_str("\"rows\":[");
+        for (i, (label, t)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"label\":{},\"time_us\":{t}}}", json_str(label));
+        }
+        out.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path` if a `--json <path>` pair is
+    /// present in `args` (the bench binaries' machine-readable output flag).
+    pub fn write_json_if_requested(
+        &self,
+        bench: &str,
+        args: impl IntoIterator<Item = String>,
+    ) -> std::io::Result<()> {
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                let path = args
+                    .next()
+                    .ok_or_else(|| std::io::Error::other("--json needs a path"))?;
+                std::fs::write(&path, self.to_json(bench))?;
+                println!("wrote {path}");
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -125,6 +197,17 @@ mod tests {
         assert!(s.contains("2.50"), "ratio 25/10 missing:\n{s}");
         assert!(s.contains("note: hello"));
         assert_eq!(t.values(), vec![10.0, 25.0]);
+    }
+
+    #[test]
+    fn to_json_emits_rows_and_escapes() {
+        let mut t = PaperTable::new("Figure \"X\"");
+        t.row("a", 10.5).note("line\nbreak");
+        let j = t.to_json("figX");
+        assert!(j.contains("\"bench\":\"figX\""));
+        assert!(j.contains("\"label\":\"a\",\"time_us\":10.5"));
+        assert!(j.contains("Figure \\\"X\\\""));
+        assert!(j.contains("line\\nbreak"));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! A tiny seeded PRNG for workload generation.
+//!
+//! The repo builds with no external crates (see DESIGN.md §4), so the
+//! randomized tests and benches draw from this SplitMix64 generator instead
+//! of `rand`. It is deterministic per seed, which is all the stress tests
+//! need: "the schedule may differ, the work must not".
+
+use core::ops::Range;
+
+/// A seeded SplitMix64 generator.
+///
+/// Statistically solid for workload mixing (full 64-bit period, passes
+/// BigCrush as a mixer); not for cryptography.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `range` (half-open, like `rand`'s `gen_range`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range on an empty range");
+        // Multiply-shift rejection-free mapping; bias is < 2^-32 for the
+        // small spans the tests use.
+        let span = hi - lo;
+        let v = lo + (((self.next_u64() >> 32) * span) >> 32);
+        T::from_u64(v)
+    }
+
+    /// Returns true with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can draw.
+pub trait RangeInt: Copy {
+    /// Widens to the generator's native width.
+    fn to_u64(self) -> u64;
+    /// Narrows a value known to fit.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+range_int!(u8, u16, u32, u64, usize, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_range() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(5..40);
+            assert!((5..40).contains(&v));
+            let u = r.gen_range(0u8..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket never drawn: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "p=0.2 gave {hits}/10000");
+    }
+}

@@ -30,6 +30,27 @@ pub struct ThreadInfo {
     pub sigmask: u64,
     /// Pending (undelivered) signals.
     pub pending_signals: u64,
+    /// Times this thread was dispatched onto an LWP (user-level context
+    /// switches; 0 for bound threads, whose switches the kernel makes).
+    pub ctx_switches: u64,
+    /// CPU time (ns) accumulated over completed dispatches. Only advances
+    /// while CPU-time accounting is on (see `cpu_time_ns`); a bound
+    /// thread's time lives on its LWP clock instead.
+    pub cpu_ns: u64,
+}
+
+fn info_of(t: &std::sync::Arc<crate::thread::Thread>) -> ThreadInfo {
+    ThreadInfo {
+        id: t.id,
+        state: t.state(),
+        priority: t.priority(),
+        bound: t.bound,
+        flags: t.flags,
+        sigmask: t.sigmask.load(Ordering::SeqCst),
+        pending_signals: t.pending.load(Ordering::SeqCst),
+        ctx_switches: t.ctx_switches.load(Ordering::Relaxed),
+        cpu_ns: t.cpu_ns.load(Ordering::Relaxed),
+    }
 }
 
 /// A consistent snapshot of the library's thread table, ordered by id.
@@ -43,23 +64,22 @@ pub fn threads_snapshot() -> Vec<ThreadInfo> {
         .lock()
         .expect("thread registry poisoned")
         .values()
-        .map(|t| ThreadInfo {
-            id: t.id,
-            state: t.state(),
-            priority: t.priority(),
-            bound: t.bound,
-            flags: t.flags,
-            sigmask: t.sigmask.load(Ordering::SeqCst),
-            pending_signals: t.pending.load(Ordering::SeqCst),
-        })
+        .map(info_of)
         .collect();
     out.sort_by_key(|t| t.id);
     out
 }
 
-/// Looks up one thread's info.
+/// Looks up one thread's info — a direct registry lookup, not a scan of
+/// the full snapshot, so a debugger polling one thread doesn't pay O(n)
+/// per probe.
 pub fn thread_info(id: ThreadId) -> Option<ThreadInfo> {
-    threads_snapshot().into_iter().find(|t| t.id == id)
+    sched::mt()
+        .threads
+        .lock()
+        .expect("thread registry poisoned")
+        .get(&id.0)
+        .map(info_of)
 }
 
 #[cfg(test)]

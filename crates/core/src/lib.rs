@@ -86,6 +86,28 @@ pub mod sync {
     pub use sunmt_sync::{api, Condvar, Mutex, RwLock, RwType, Sema, SyncType};
 }
 
+/// TNF-style tracing and metrics (re-export of `sunmt-trace`).
+///
+/// Probes are compiled into the scheduler, the synchronization variables,
+/// and the LWP layer; they cost one relaxed load while disabled. Typical
+/// use:
+///
+/// ```
+/// sunmt::trace::enable();
+/// // ... run threaded work ...
+/// sunmt::trace::disable();
+/// let events = sunmt::trace::drain();
+/// println!("{}", sunmt::trace::render(&events));
+/// let json = sunmt::trace::export_chrome(&events); // chrome://tracing
+/// let totals = sunmt::trace::counters();
+/// # let _ = (json, totals);
+/// ```
+pub mod trace {
+    pub use sunmt_trace::{
+        counters, disable, drain, enable, enabled, export_chrome, render, Counters, Event, Tag,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use sunmt_trace::{probe, Tag};
+
 use crate::thread::Thread;
 
 /// Number of distinct priority levels the dispatcher distinguishes.
@@ -39,6 +41,7 @@ impl RunQueue {
     /// Enqueues `t` at its current priority.
     pub fn push(&mut self, t: Arc<Thread>) {
         let lvl = Self::level_for(t.priority());
+        probe!(Tag::RunqPush, t.id.0, lvl);
         self.levels[lvl].push_back(t);
         self.occupied |= 1 << lvl;
         self.len += 1;
@@ -52,6 +55,7 @@ impl RunQueue {
         let lvl = 63 - self.occupied.leading_zeros() as usize;
         let q = &mut self.levels[lvl];
         let t = q.pop_front().expect("occupancy bit set on empty level");
+        probe!(Tag::RunqPop, t.id.0, lvl);
         if q.is_empty() {
             self.occupied &= !(1 << lvl);
         }

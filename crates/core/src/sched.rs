@@ -13,13 +13,14 @@
 
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sunmt_context::arch::{self, MachContext};
 use sunmt_context::stack::{Stack, StackCache};
 use sunmt_lwp::{registry, Lwp, LwpState};
 use sunmt_sync::{Sema, SyncType};
+use sunmt_trace::{probe, Tag};
 
 use crate::runq::RunQueue;
 use crate::signals::Disposition;
@@ -80,6 +81,10 @@ pub(crate) struct Mt {
     /// Interrupts sent while every thread had them masked "pend on the
     /// process until a thread unmasks that signal".
     pub proc_pending: std::sync::atomic::AtomicU64,
+    /// Total user-level dispatches ever performed (always counted).
+    pub dispatches: AtomicU64,
+    /// Total pool-growth events (setconcurrency, NEW_LWP, SIGWAITING).
+    pub pool_grows: AtomicU64,
 }
 
 static MT: OnceLock<Mt> = OnceLock::new();
@@ -106,6 +111,8 @@ pub(crate) fn mt() -> &'static Mt {
             pool_auto: AtomicBool::new(true),
             handlers: Mutex::new(HashMap::new()),
             proc_pending: std::sync::atomic::AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            pool_grows: AtomicU64::new(0),
         }
     })
 }
@@ -126,10 +133,12 @@ struct LwpCtl {
 }
 
 thread_local! {
-    static LWP_CTL: UnsafeCell<LwpCtl> = UnsafeCell::new(LwpCtl {
-        sched_ctx: MachContext::zeroed(),
-        action: Action::None,
-    });
+    static LWP_CTL: UnsafeCell<LwpCtl> = const {
+        UnsafeCell::new(LwpCtl {
+            sched_ctx: MachContext::zeroed(),
+            action: Action::None,
+        })
+    };
     static CURRENT: RefCell<Option<Arc<Thread>>> = const { RefCell::new(None) };
 }
 
@@ -204,6 +213,11 @@ pub(crate) fn create_thread(
     let id = alloc_id(m);
     let stopped = flags.contains(CreateFlags::STOP);
     let tls_len = crate::tls::freeze_and_len();
+    probe!(
+        Tag::ThreadCreate,
+        id.0,
+        flags.contains(CreateFlags::BIND_LWP) as u64
+    );
     if flags.contains(CreateFlags::WAIT) {
         m.waitable.fetch_add(1, Ordering::SeqCst);
     }
@@ -285,6 +299,7 @@ fn bound_main(t: Arc<Thread>, f: Box<dyn FnOnce() + Send + 'static>) {
     t.dispatch_cpu0_ns
         .store(sunmt_lwp::cpu_time().as_nanos() as u64, Ordering::Relaxed);
     CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&t)));
+    sunmt_trace::set_current_thread(t.id.0);
     if t.flags.contains(CreateFlags::STOP) {
         // Created suspended; the parker's permit makes the
         // continue-before-park race benign.
@@ -294,6 +309,7 @@ fn bound_main(t: Arc<Thread>, f: Box<dyn FnOnce() + Send + 'static>) {
     crate::thread::run_thread_body(f);
     finish_thread_common(&t);
     CURRENT.with(|c| c.borrow_mut().take());
+    sunmt_trace::set_current_thread(0);
 }
 
 // ---------------------------------------------------------------------------
@@ -358,6 +374,10 @@ fn remove_self_from_idle(me: &Arc<LwpState>) {
 
 fn run_one(t: Arc<Thread>) {
     t.set_state(ThreadState::Running);
+    mt().dispatches.fetch_add(1, Ordering::Relaxed);
+    t.ctx_switches.fetch_add(1, Ordering::Relaxed);
+    probe!(Tag::Dispatch, t.id.0, t.priority());
+    sunmt_trace::set_current_thread(t.id.0);
     // Charge this dispatch interval to the thread (per-thread CPU time) —
     // but only once somebody asked for accounting; the clock reads would
     // otherwise dominate the user-level switch cost.
@@ -401,6 +421,14 @@ fn run_one(t: Arc<Thread>) {
         // SAFETY: Same single-thread access argument as above.
         unsafe { std::mem::take(&mut (*c.get()).action) }
     });
+    let reason: u64 = match &action {
+        Action::Yield | Action::None => 0,
+        Action::Sleep { .. } => 1,
+        Action::Stop => 2,
+        Action::Exit => 3,
+    };
+    probe!(Tag::SwitchOut, t.id.0, reason);
+    sunmt_trace::set_current_thread(0);
     match action {
         Action::Yield => make_runnable(t),
         Action::Sleep { addr, expected } => commit_sleep(t, addr, expected),
@@ -512,6 +540,7 @@ fn commit_sleep(t: Arc<Thread>, addr: usize, expected: u32) {
     // long as anyone may sleep on it.
     let word = unsafe { &*(addr as *const AtomicU32) };
     if word.load(Ordering::SeqCst) == expected && !t.stop_requested.load(Ordering::SeqCst) {
+        probe!(Tag::Sleep, t.id.0, addr);
         t.set_state(ThreadState::Sleeping);
         tbl.insert(addr, t);
     } else {
@@ -522,6 +551,7 @@ fn commit_sleep(t: Arc<Thread>, addr: usize, expected: u32) {
 }
 
 pub(crate) fn commit_stop(t: Arc<Thread>) {
+    probe!(Tag::Stop, t.id.0);
     t.set_state(ThreadState::Stopped);
     t.stop_requested.store(false, Ordering::SeqCst);
     let waiters = t.stop_waiters.swap(0, Ordering::SeqCst);
@@ -549,6 +579,7 @@ fn reap(t: Arc<Thread>) {
 /// Zombie/wait bookkeeping shared by unbound reap and bound-thread exit.
 pub(crate) fn finish_thread_common(t: &Arc<Thread>) {
     let m = mt();
+    probe!(Tag::ThreadExit, t.id.0);
     if t.flags.contains(CreateFlags::WAIT) {
         t.set_state(ThreadState::Zombie);
         let zombies = m.zombies.lock().expect("zombie list poisoned");
@@ -734,6 +765,7 @@ pub(crate) fn continue_thread(id: ThreadId) -> Result<()> {
     let t = lookup(id)?;
     match t.state() {
         ThreadState::Stopped => {
+            probe!(Tag::Continue, t.id.0);
             if t.bound {
                 t.set_state(ThreadState::Running);
                 t.stop_park.unpark();
@@ -787,6 +819,7 @@ pub(crate) fn user_unpark(addr: usize, n: usize) {
         .expect("sleep table poisoned")
         .take(addr, n);
     for t in woken {
+        probe!(Tag::Wakeup, t.id.0, addr);
         make_runnable(t);
     }
 }
@@ -822,7 +855,11 @@ fn add_pool_lwp() {
         return;
     }
     match Lwp::spawn_named("sunmt-pool".to_string(), sched_loop) {
-        Ok(lwp) => drop(lwp), // Detached; pool membership is the identity.
+        Ok(lwp) => {
+            drop(lwp); // Detached; pool membership is the identity.
+            m.pool_grows.fetch_add(1, Ordering::Relaxed);
+            probe!(Tag::PoolGrow, m.pool_count.load(Ordering::SeqCst));
+        }
         Err(_) => {
             m.pool_count.fetch_sub(1, Ordering::SeqCst);
         }
@@ -833,6 +870,7 @@ fn add_pool_lwp() {
 /// created as required to avoid deadlock".
 fn sigwaiting_handler() {
     let m = mt();
+    probe!(Tag::SigwaitingPost, m.pool_count.load(Ordering::SeqCst));
     let runnable = m.runq.lock().expect("run queue poisoned").len();
     let idle = m.idle.lock().expect("idle list poisoned").len();
     if runnable > 0 && idle == 0 {
@@ -843,14 +881,30 @@ fn sigwaiting_handler() {
 }
 
 /// Diagnostic snapshot used by tests and the experiment harness.
+///
+/// The four collections are read under a single *consistent* lock hold, so
+/// a thread mid-transition (e.g. popped from the run queue but not yet
+/// dispatched) can never be double- or zero-counted across fields read at
+/// different times.
+///
+/// Lock ordering (the library's canonical order — nothing else in the
+/// library holds two of these at once, so this function defines it):
+/// `runq` → `sleepers` → `idle` → `threads`. Any future code that must
+/// nest them has to follow the same order.
 pub fn stats() -> SchedStats {
     let m = mt();
+    let runq = m.runq.lock().expect("run queue poisoned");
+    let sleepers = m.sleepers.lock().expect("sleep table poisoned");
+    let idle = m.idle.lock().expect("idle list poisoned");
+    let threads = m.threads.lock().expect("thread registry poisoned");
     SchedStats {
-        runnable: m.runq.lock().expect("run queue poisoned").len(),
-        sleeping: m.sleepers.lock().expect("sleep table poisoned").len(),
+        runnable: runq.len(),
+        sleeping: sleepers.len(),
         pool_lwps: m.pool_count.load(Ordering::SeqCst),
-        idle_lwps: m.idle.lock().expect("idle list poisoned").len(),
-        live_threads: m.threads.lock().expect("thread registry poisoned").len(),
+        idle_lwps: idle.len(),
+        live_threads: threads.len(),
+        dispatches: m.dispatches.load(Ordering::Relaxed),
+        pool_grows: m.pool_grows.load(Ordering::Relaxed),
     }
 }
 
@@ -867,4 +921,8 @@ pub struct SchedStats {
     pub idle_lwps: usize,
     /// Registered thread objects (incl. zombies and adopted threads).
     pub live_threads: usize,
+    /// Total user-level dispatches since library init.
+    pub dispatches: u64,
+    /// Total pool-growth events since library init.
+    pub pool_grows: u64,
 }

@@ -133,6 +133,7 @@ fn default_action(signo: SigNo) {
 }
 
 fn dispatch(signo: SigNo) {
+    sunmt_trace::probe!(sunmt_trace::Tag::SignalDeliver, signo);
     match disposition_of(signo) {
         Disposition::Default => default_action(signo),
         Disposition::Ignore => {}

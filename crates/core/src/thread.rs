@@ -56,6 +56,9 @@ pub(crate) struct Thread {
     pub(crate) tls: UnsafeCell<Box<[u8]>>,
     /// CPU time (ns) accumulated over completed dispatches.
     pub(crate) cpu_ns: AtomicU64,
+    /// Times this thread was dispatched onto an LWP (user-level context
+    /// switches; always counted — it is one relaxed increment).
+    pub(crate) ctx_switches: AtomicU64,
     /// The dispatching LWP's CPU clock (ns) when this thread last went on
     /// CPU; the live dispatch's contribution is `lwp_now - this`.
     pub(crate) dispatch_cpu0_ns: AtomicU64,
@@ -77,6 +80,7 @@ unsafe impl Send for Thread {}
 unsafe impl Sync for Thread {}
 
 impl Thread {
+    #[allow(clippy::too_many_arguments)] // Mirrors thread_create()'s parameter list.
     pub(crate) fn new(
         id: ThreadId,
         flags: CreateFlags,
@@ -104,6 +108,7 @@ impl Thread {
             cont: UnsafeCell::new(cont),
             tls: UnsafeCell::new(vec![0u8; tls_len].into_boxed_slice()),
             cpu_ns: AtomicU64::new(0),
+            ctx_switches: AtomicU64::new(0),
             dispatch_cpu0_ns: AtomicU64::new(0),
             vt_deadline_ns: AtomicU64::new(0),
             vt_interval_ns: AtomicU64::new(0),

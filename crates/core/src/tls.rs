@@ -174,6 +174,14 @@ pub mod errno {
     }
 }
 
+impl<T: Zeroable> core::fmt::Debug for Unshared<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Unshared")
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,13 +210,5 @@ mod tests {
         let _ = freeze_and_len();
         assert!(is_frozen());
         assert_eq!(Unshared::<u32>::register().unwrap_err(), TlsFrozen);
-    }
-}
-
-impl<T: Zeroable> core::fmt::Debug for Unshared<T> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Unshared")
-            .field("offset", &self.offset)
-            .finish()
     }
 }

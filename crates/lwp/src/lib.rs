@@ -68,6 +68,9 @@ struct Registered(Arc<LwpState>);
 
 impl Drop for Registered {
     fn drop(&mut self) {
+        // Runs during TLS teardown: the probe degrades gracefully (counter
+        // only) if the tracer's own TLS is already gone.
+        sunmt_trace::probe!(sunmt_trace::Tag::LwpExit, self.0.id.0);
         registry::global().lwp_exited();
     }
 }
@@ -150,6 +153,7 @@ impl Lwp {
             CURRENT.with(|c| {
                 let _ = c.set(Registered(state));
             });
+            sunmt_trace::probe!(sunmt_trace::Tag::LwpSpawn, sunmt_sys::task::gettid());
             f();
         });
         let handle = match spawned {

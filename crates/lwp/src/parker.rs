@@ -33,6 +33,7 @@ impl Parker {
             if self.word.swap(EMPTY, Ordering::Acquire) == NOTIFIED {
                 return;
             }
+            sunmt_trace::probe!(sunmt_trace::Tag::LwpPark, &self.word as *const _ as usize);
             // Sleep only while no permit is pending.
             let _ = futex::wait(&self.word, EMPTY, Scope::Private);
         }
@@ -51,6 +52,7 @@ impl Parker {
     /// Deposits the permit (idempotent) and wakes the parked LWP, if any.
     pub fn unpark(&self) {
         if self.word.swap(NOTIFIED, Ordering::Release) == EMPTY {
+            sunmt_trace::probe!(sunmt_trace::Tag::LwpUnpark, &self.word as *const _ as usize);
             let _ = futex::wake(&self.word, 1, Scope::Private);
         }
     }

@@ -56,9 +56,7 @@ pub fn child_role() -> Option<String> {
 /// The shared path passed by the parent (environment first, then argv for
 /// plain binaries).
 pub fn child_shared_path() -> Option<std::path::PathBuf> {
-    if child_role().is_none() {
-        return None;
-    }
+    child_role()?;
     if let Ok(p) = std::env::var(PATH_ENV) {
         return Some(p.into());
     }

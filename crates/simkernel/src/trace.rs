@@ -125,6 +125,46 @@ impl Trace {
         }
         out
     }
+
+    /// Converts the simulation trace into the shared `sunmt-trace` event
+    /// vocabulary, so the same collector tooling (rendering, Chrome
+    /// export) serves the simulated kernel and the real library alike.
+    ///
+    /// Simulated microseconds become nanoseconds; events with no shared
+    /// tag (`Fork`, free-form `UserLevel`) are dropped.
+    pub fn to_events(&self) -> Vec<sunmt_trace::Event> {
+        use sunmt_trace::Tag;
+        let mut out = Vec::with_capacity(self.events.len());
+        for (t, e) in &self.events {
+            let (lwp, tag, a, b) = match e {
+                TraceEvent::Dispatch { lwp, cpu } => {
+                    (lwp.0, Tag::Dispatch, lwp.0 as u64, *cpu as u64)
+                }
+                TraceEvent::OffCpu { lwp, reason } => {
+                    (lwp.0, Tag::SwitchOut, lwp.0 as u64, *reason as u64)
+                }
+                TraceEvent::SyscallEnter { lwp } => (lwp.0, Tag::SyscallEnter, 0, 0),
+                TraceEvent::SyscallDone { lwp, eintr } => {
+                    (lwp.0, Tag::SyscallDone, *eintr as u64, 0)
+                }
+                TraceEvent::Sigwaiting { pid } => (0, Tag::SigwaitingPost, pid.0 as u64, 0),
+                TraceEvent::SignalDeliver { lwp, sig } => {
+                    (lwp.0, Tag::SignalDeliver, *sig as u64, 0)
+                }
+                TraceEvent::LwpExit { lwp } => (lwp.0, Tag::LwpExit, lwp.0 as u64, 0),
+                TraceEvent::Fork { .. } | TraceEvent::UserLevel { .. } => continue,
+            };
+            out.push(sunmt_trace::Event {
+                ts_ns: t * 1_000,
+                lwp,
+                thread: 0,
+                tag,
+                a,
+                b,
+            });
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +190,46 @@ mod tests {
         assert_eq!(exits.len(), 1);
         assert_eq!(exits[0].0, 9);
         assert!(tr.render().contains("Dispatch"));
+    }
+
+    #[test]
+    fn to_events_maps_into_the_shared_vocabulary() {
+        use sunmt_trace::Tag;
+        let mut tr = Trace::default();
+        tr.push(
+            5,
+            TraceEvent::Dispatch {
+                lwp: SimLwpId(3),
+                cpu: 1,
+            },
+        );
+        tr.push(
+            8,
+            TraceEvent::OffCpu {
+                lwp: SimLwpId(3),
+                reason: OffCpuReason::Blocked,
+            },
+        );
+        tr.push(
+            9,
+            TraceEvent::Fork {
+                parent: Pid(1),
+                child: Pid(2),
+                all_lwps: true,
+            },
+        );
+        tr.push(12, TraceEvent::LwpExit { lwp: SimLwpId(3) });
+        let evs = tr.to_events();
+        // Fork has no shared tag and is dropped.
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].tag, Tag::Dispatch);
+        assert_eq!(evs[0].ts_ns, 5_000);
+        assert_eq!(evs[0].lwp, 3);
+        assert_eq!(evs[1].tag, Tag::SwitchOut);
+        assert_eq!(evs[1].b, OffCpuReason::Blocked as u64);
+        assert_eq!(evs[2].tag, Tag::LwpExit);
+        // The shared collector tooling accepts the converted events.
+        let json = sunmt_trace::export_chrome(&evs);
+        assert!(json.contains("traceEvents"));
     }
 }

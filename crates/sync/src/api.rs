@@ -108,14 +108,14 @@ mod tests {
         // section, transliterated.
         let m = Mutex::new(SyncType::DEFAULT);
         let cv = Condvar::new(SyncType::DEFAULT);
-        let mut some_condition = false;
+        let some_condition = std::sync::atomic::AtomicBool::new(false);
         mutex_enter(&m);
-        while some_condition {
+        while some_condition.load(std::sync::atomic::Ordering::Relaxed) {
             cv_wait(&cv, &m);
         }
-        some_condition = true;
+        some_condition.store(true, std::sync::atomic::Ordering::Relaxed);
         mutex_exit(&m);
-        assert!(some_condition);
+        assert!(some_condition.load(std::sync::atomic::Ordering::Relaxed));
         cv_signal(&cv);
         cv_broadcast(&cv);
     }

@@ -76,6 +76,7 @@ impl Condvar {
         // Sleeps only if no signal has arrived since `seen` was sampled
         // under the mutex; spurious wakeups are fine because the caller
         // re-tests its predicate.
+        sunmt_trace::probe!(sunmt_trace::Tag::CvBlock, &self.seq as *const _ as usize);
         strategy::park(&self.seq, seen, self.shared());
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         mutex.enter();

@@ -105,6 +105,11 @@ impl Mutex {
     #[cold]
     fn enter_slow(&self) {
         let kind = self.kind();
+        sunmt_trace::probe!(
+            sunmt_trace::Tag::MutexBlock,
+            &self.word as *const _ as usize,
+            kind.0
+        );
         if kind.is_spin() {
             // Spin variant: never sleep.
             let mut spins = 0u32;
@@ -124,7 +129,7 @@ impl Mutex {
                 }
                 core::hint::spin_loop();
                 spins += 1;
-                if spins % 1024 == 0 {
+                if spins.is_multiple_of(1024) {
                     strategy::yield_now();
                 }
             }

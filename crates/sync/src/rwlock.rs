@@ -113,6 +113,11 @@ impl RwLock {
                 self.rdwait.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::RwBlock,
+                &self.state as *const _ as usize,
+                0u64 // reader
+            );
             strategy::park(&self.rdseq, seq, self.shared());
             self.rdwait.fetch_sub(1, Ordering::SeqCst);
         }
@@ -133,6 +138,11 @@ impl RwLock {
             if self.state.load(Ordering::Relaxed) == 0 {
                 continue;
             }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::RwBlock,
+                &self.state as *const _ as usize,
+                1u64 // writer
+            );
             strategy::park(&self.wrseq, seq, self.shared());
         }
     }
@@ -259,6 +269,11 @@ impl RwLock {
             if self.state.load(Ordering::Relaxed) == UPGRADE | 1 {
                 continue;
             }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::RwBlock,
+                &self.state as *const _ as usize,
+                1u64 // writer
+            );
             strategy::park(&self.wrseq, seq, self.shared());
         }
     }

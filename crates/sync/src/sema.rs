@@ -74,6 +74,10 @@ impl Sema {
             if self.try_dec() {
                 break;
             }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::SemaBlock,
+                &self.count as *const _ as usize
+            );
             strategy::park(&self.count, 0, shared);
         }
         self.waiters.fetch_sub(1, Ordering::Relaxed);

@@ -163,7 +163,7 @@ mod tests {
     fn invalid_unmap_reports_errno() {
         // SAFETY: munmap of an unaligned address cannot touch any mapping;
         // the kernel rejects it before acting.
-        let err = unsafe { unmap(1 as *mut u8, PAGE_SIZE) }.unwrap_err();
+        let err = unsafe { unmap(std::ptr::dangling_mut::<u8>(), PAGE_SIZE) }.unwrap_err();
         assert_eq!(err, Errno::EINVAL);
     }
 }

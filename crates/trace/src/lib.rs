@@ -1,0 +1,381 @@
+//! TNF-style tracing for the threads library (paper §6's `tnfprobes`).
+//!
+//! SunOS shipped its MT library with always-present trace points that cost
+//! almost nothing until a tool enables them, then stream fixed-size binary
+//! records into per-thread buffers merged offline. This crate is that
+//! design for the reproduction:
+//!
+//! - [`probe!`] compiles to a single relaxed atomic load and a predicted
+//!   branch while tracing is disabled, and to nothing at all with the
+//!   crate's `off` feature.
+//! - When enabled, each probe writes one fixed-size [`Event`]
+//!   (CLOCK_MONOTONIC timestamp, LWP id, thread id, [`Tag`], two payload
+//!   words) into the calling LWP's lock-free [`ring::Ring`].
+//! - [`drain`] merges every LWP's ring by timestamp; [`render`] prints a
+//!   human-readable dump, [`export_chrome`] emits Chrome `trace_event`
+//!   JSON, and [`counters`] aggregates per-tag totals (counters see every
+//!   probe hit, including events later overwritten in a full ring).
+//!
+//! The crate deliberately depends only on `sunmt-sys` so every layer above
+//! it (sync, lwp, core, simkernel) can host probes without a dependency
+//! cycle.
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod ring;
+pub mod tag;
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub use chrome::export_chrome;
+pub use tag::{Tag, NTAGS};
+
+use ring::Ring;
+
+/// One trace record, fixed-size by construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// CLOCK_MONOTONIC nanoseconds.
+    pub ts_ns: u64,
+    /// Kernel thread (LWP) id that emitted the event.
+    pub lwp: u32,
+    /// User thread id running on that LWP (0 if none/unknown).
+    pub thread: u32,
+    /// What happened.
+    pub tag: Tag,
+    /// First payload word (meaning per [`Tag`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Aggregate per-tag event totals for one tracing epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Counters {
+    counts: [u64; NTAGS],
+}
+
+impl Counters {
+    /// Events recorded for `tag` since [`enable`].
+    pub fn get(&self, tag: Tag) -> u64 {
+        self.counts[tag as usize]
+    }
+
+    /// All events across tags.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(tag, count)` for every tag with a nonzero count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Tag, u64)> + '_ {
+        Tag::ALL
+            .iter()
+            .map(|t| (*t, self.get(*t)))
+            .filter(|(_, n)| *n > 0)
+    }
+
+    /// Renders a one-line-per-tag summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (t, n) in self.nonzero() {
+            let _ = writeln!(out, "{:<16} {n:>10}", t.name());
+        }
+        out
+    }
+}
+
+/// Global on/off switch, read by every probe.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Start of the current tracing epoch (monotonic ns); [`drain`] ignores
+/// stale ring contents from before it.
+static EPOCH_NS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Per-tag totals for the current epoch.
+static COUNTERS: [AtomicU64; NTAGS] = [const { AtomicU64::new(0) }; NTAGS];
+
+/// Every LWP's ring, kept alive here even after the LWP exits so the
+/// collector can still read its tail.
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+struct Ctx {
+    ring: Arc<Ring>,
+    lwp: u32,
+    thread: Cell<u32>,
+}
+
+thread_local! {
+    static CTX: Ctx = {
+        let ring = Arc::new(Ring::new());
+        registry().lock().expect("trace registry").push(Arc::clone(&ring));
+        Ctx {
+            ring,
+            lwp: sunmt_sys::task::gettid(),
+            thread: Cell::new(0),
+        }
+    };
+}
+
+fn now_ns() -> u64 {
+    let d = sunmt_sys::time::monotonic_now();
+    d.as_secs() * 1_000_000_000 + u64::from(d.subsec_nanos())
+}
+
+/// Whether probes currently record. This is the entire disabled-probe cost:
+/// one relaxed load and a branch (and with the `off` feature, a constant
+/// `false` the optimizer deletes along with the probe body).
+#[inline(always)]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one event. Called by [`probe!`] after its [`enabled`] check;
+/// callable directly when the caller has already tested [`enabled`].
+#[inline]
+pub fn emit(tag: Tag, a: u64, b: u64) {
+    let ts = now_ns();
+    // `try_with` so a probe firing during TLS teardown (e.g. the LWP-exit
+    // probe, which runs from a TLS destructor) degrades to counting only.
+    let _ = CTX.try_with(|c| c.ring.push(ts, c.lwp, c.thread.get(), tag, a, b));
+    COUNTERS[tag as usize].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tells the tracer which user thread now runs on the calling LWP, so
+/// subsequent events carry its id. The core scheduler calls this at every
+/// dispatch; 0 means "no user thread".
+#[inline]
+pub fn set_current_thread(id: u32) {
+    if cfg!(feature = "off") {
+        return;
+    }
+    let _ = CTX.try_with(|c| c.thread.set(id));
+}
+
+/// Emits a trace event if tracing is enabled.
+///
+/// `probe!(Tag::X)`, `probe!(Tag::X, a)` and `probe!(Tag::X, a, b)` all
+/// work; payloads are cast to `u64`. The macro body is a single branch on
+/// [`enabled`], so a disabled probe costs a relaxed load.
+#[macro_export]
+macro_rules! probe {
+    ($tag:expr) => {
+        $crate::probe!($tag, 0u64, 0u64)
+    };
+    ($tag:expr, $a:expr) => {
+        $crate::probe!($tag, $a, 0u64)
+    };
+    ($tag:expr, $a:expr, $b:expr) => {
+        if $crate::enabled() {
+            $crate::emit($tag, ($a) as u64, ($b) as u64);
+        }
+    };
+}
+
+/// Starts a tracing epoch: zeroes the counters, timestamps the epoch (so
+/// stale ring contents are excluded from [`drain`]) and turns probes on.
+pub fn enable() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    EPOCH_NS.store(now_ns(), Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns probes off. Ring contents and counters stay readable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Collects every LWP's ring and merges the current epoch's events into a
+/// single timeline ordered by timestamp (ties broken by LWP id, then by
+/// per-ring push order). Rings are not cleared; the next [`enable`] starts
+/// a fresh epoch instead.
+pub fn drain() -> Vec<Event> {
+    let since = EPOCH_NS.load(Ordering::SeqCst);
+    let rings: Vec<Arc<Ring>> = registry().lock().expect("trace registry").clone();
+    let mut out = Vec::new();
+    for r in &rings {
+        r.collect_into(since, &mut out);
+    }
+    // Stable sort: per-ring push order survives for equal (ts, lwp).
+    out.sort_by_key(|e| (e.ts_ns, e.lwp));
+    out
+}
+
+/// Snapshot of the per-tag totals for the current epoch.
+pub fn counters() -> Counters {
+    let mut c = Counters::default();
+    for (i, ctr) in COUNTERS.iter().enumerate() {
+        c.counts[i] = ctr.load(Ordering::Relaxed);
+    }
+    c
+}
+
+/// Renders events as a human-readable dump, one line per event, with
+/// timestamps in microseconds relative to the first event.
+pub fn render(events: &[Event]) -> String {
+    use std::fmt::Write as _;
+    let base = events.first().map_or(0, |e| e.ts_ns);
+    let mut out = String::new();
+    for e in events {
+        let us = (e.ts_ns - base) as f64 / 1_000.0;
+        let _ = writeln!(
+            out,
+            "[{us:>12.3}us] lwp {:<6} thr {:<6} {:<14} a={:#x} b={:#x}",
+            e.lwp,
+            e.thread,
+            e.tag.name(),
+            e.a,
+            e.b
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trace globals are process-wide, so the unit tests that toggle
+    // them serialize on one lock.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        // A failing test must not cascade poison into the others.
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let _g = test_lock();
+        disable();
+        let before = counters().get(Tag::Wakeup);
+        probe!(Tag::Wakeup, 1, 2);
+        assert_eq!(counters().get(Tag::Wakeup), before);
+    }
+
+    #[test]
+    fn counters_are_accurate_and_survive_ring_overwrite() {
+        let _g = test_lock();
+        enable();
+        let n = ring::RING_CAP as u64 + 321;
+        for i in 0..n {
+            probe!(Tag::RunqPush, i);
+        }
+        probe!(Tag::PoolGrow, 2);
+        disable();
+        let c = counters();
+        assert_eq!(
+            c.get(Tag::RunqPush),
+            n,
+            "counter must see overwritten events"
+        );
+        assert_eq!(c.get(Tag::PoolGrow), 1);
+        assert_eq!(c.total(), n + 1);
+        // The ring only holds the newest CAP events; the final PoolGrow
+        // evicted one RunqPush.
+        let events = drain();
+        assert_eq!(events.len(), ring::RING_CAP);
+        let pushes = events.iter().filter(|e| e.tag == Tag::RunqPush).count();
+        assert_eq!(pushes, ring::RING_CAP - 1);
+        assert_eq!(events.last().unwrap().tag, Tag::PoolGrow);
+    }
+
+    #[test]
+    fn drain_merges_across_lwps_in_timestamp_order() {
+        let _g = test_lock();
+        enable();
+        let mut handles = Vec::new();
+        for t in 0..3u32 {
+            handles.push(std::thread::spawn(move || {
+                set_current_thread(100 + t);
+                for i in 0..500u64 {
+                    probe!(Tag::Dispatch, i);
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable();
+        let events = drain();
+        let lwps: std::collections::HashSet<u32> = events.iter().map(|e| e.lwp).collect();
+        assert!(lwps.len() >= 3, "expected events from 3 LWPs, got {lwps:?}");
+        for w in events.windows(2) {
+            assert!(
+                w[1].ts_ns >= w[0].ts_ns,
+                "merge must be non-decreasing in time"
+            );
+        }
+        assert!(events
+            .iter()
+            .filter(|e| e.tag == Tag::Dispatch)
+            .all(|e| (100..103).contains(&e.thread)));
+    }
+
+    #[test]
+    fn enable_epoch_hides_previous_runs() {
+        let _g = test_lock();
+        enable();
+        probe!(Tag::Sleep, 7);
+        disable();
+        assert!(drain().iter().any(|e| e.tag == Tag::Sleep && e.a == 7));
+        // A fresh epoch must not resurface the old event.
+        enable();
+        disable();
+        assert!(
+            !drain().iter().any(|e| e.tag == Tag::Sleep && e.a == 7),
+            "stale pre-epoch event leaked into drain()"
+        );
+    }
+
+    #[test]
+    fn render_formats_one_line_per_event() {
+        let events = [
+            Event {
+                ts_ns: 1_000,
+                lwp: 5,
+                thread: 9,
+                tag: Tag::Dispatch,
+                a: 9,
+                b: 0,
+            },
+            Event {
+                ts_ns: 2_500,
+                lwp: 5,
+                thread: 9,
+                tag: Tag::SwitchOut,
+                a: 9,
+                b: 1,
+            },
+        ];
+        let s = render(&events);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("dispatch"));
+        assert!(s.contains("switch-out"));
+        assert!(s.contains("1.500us"), "relative timestamp missing:\n{s}");
+    }
+
+    #[test]
+    fn probe_macro_accepts_one_two_or_three_args() {
+        let _g = test_lock();
+        enable();
+        probe!(Tag::Stop);
+        probe!(Tag::Stop, 1u32);
+        probe!(Tag::Stop, 1u32, 2usize);
+        disable();
+        assert_eq!(counters().get(Tag::Stop), 3);
+    }
+}

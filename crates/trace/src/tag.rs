@@ -1,0 +1,140 @@
+//! The shared event vocabulary.
+//!
+//! One tag namespace serves both the real threads library (probes in
+//! `sunmt-core` / `sunmt-sync` / `sunmt-lwp`) and the simulated kernel
+//! (`sunmt-simkernel` converts its `TraceEvent` log into these tags), so a
+//! single collector/exporter understands either world.
+
+/// A probe's event kind. Stored in events as its `u16` discriminant.
+#[repr(u16)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tag {
+    /// Scheduler gave a thread the CPU (`a` = thread id, `b` = priority).
+    Dispatch = 0,
+    /// Running thread left the CPU (`a` = thread id, `b` = reason code:
+    /// 0 yield, 1 sleep, 2 stop, 3 exit).
+    SwitchOut = 1,
+    /// Thread pushed on the run queue (`a` = thread id, `b` = priority).
+    RunqPush = 2,
+    /// Thread popped off the run queue (`a` = thread id, `b` = priority).
+    RunqPop = 3,
+    /// Thread created (`a` = thread id, `b` = 1 if bound to an LWP).
+    ThreadCreate = 4,
+    /// Thread exited (`a` = thread id).
+    ThreadExit = 5,
+    /// Thread blocked on a sleep queue (`a` = thread id, `b` = wait word).
+    Sleep = 6,
+    /// Sleeping thread made runnable again (`a` = thread id).
+    Wakeup = 7,
+    /// Thread stopped via `thr_suspend`-style stop (`a` = thread id).
+    Stop = 8,
+    /// Stopped thread continued (`a` = thread id).
+    Continue = 9,
+    /// Mutex contended slow path entered (`a` = lock address, `b` = variant).
+    MutexBlock = 10,
+    /// Condition-variable wait blocked (`a` = cv address).
+    CvBlock = 11,
+    /// Semaphore `p()` blocked (`a` = sema address).
+    SemaBlock = 12,
+    /// Readers/writer lock blocked (`a` = lock address, `b` = 0 reader /
+    /// 1 writer).
+    RwBlock = 13,
+    /// Signal delivered to a thread (`a` = signal number, `b` = thread id).
+    SignalDeliver = 14,
+    /// SIGWAITING-style "all LWPs blocked" notification (`a` = pool size).
+    SigwaitingPost = 15,
+    /// Pool grew by one LWP (`a` = new pool size).
+    PoolGrow = 16,
+    /// LWP spawned (`a` = kernel tid).
+    LwpSpawn = 17,
+    /// LWP exited (`a` = kernel tid).
+    LwpExit = 18,
+    /// LWP parked in the kernel (futex wait).
+    LwpPark = 19,
+    /// LWP unparked (`a` = target kernel tid).
+    LwpUnpark = 20,
+    /// Simulated kernel: LWP entered a blocking system call.
+    SyscallEnter = 21,
+    /// Simulated kernel: system call completed (`a` = 1 if EINTR).
+    SyscallDone = 22,
+}
+
+/// Number of distinct tags (length of [`Tag::ALL`]).
+pub const NTAGS: usize = 23;
+
+impl Tag {
+    /// Every tag, indexed by discriminant.
+    pub const ALL: [Tag; NTAGS] = [
+        Tag::Dispatch,
+        Tag::SwitchOut,
+        Tag::RunqPush,
+        Tag::RunqPop,
+        Tag::ThreadCreate,
+        Tag::ThreadExit,
+        Tag::Sleep,
+        Tag::Wakeup,
+        Tag::Stop,
+        Tag::Continue,
+        Tag::MutexBlock,
+        Tag::CvBlock,
+        Tag::SemaBlock,
+        Tag::RwBlock,
+        Tag::SignalDeliver,
+        Tag::SigwaitingPost,
+        Tag::PoolGrow,
+        Tag::LwpSpawn,
+        Tag::LwpExit,
+        Tag::LwpPark,
+        Tag::LwpUnpark,
+        Tag::SyscallEnter,
+        Tag::SyscallDone,
+    ];
+
+    /// Decodes a stored discriminant.
+    pub fn from_u16(v: u16) -> Option<Tag> {
+        Tag::ALL.get(v as usize).copied()
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tag::Dispatch => "dispatch",
+            Tag::SwitchOut => "switch-out",
+            Tag::RunqPush => "runq-push",
+            Tag::RunqPop => "runq-pop",
+            Tag::ThreadCreate => "thread-create",
+            Tag::ThreadExit => "thread-exit",
+            Tag::Sleep => "sleep",
+            Tag::Wakeup => "wakeup",
+            Tag::Stop => "stop",
+            Tag::Continue => "continue",
+            Tag::MutexBlock => "mutex-block",
+            Tag::CvBlock => "cv-block",
+            Tag::SemaBlock => "sema-block",
+            Tag::RwBlock => "rw-block",
+            Tag::SignalDeliver => "signal-deliver",
+            Tag::SigwaitingPost => "sigwaiting",
+            Tag::PoolGrow => "pool-grow",
+            Tag::LwpSpawn => "lwp-spawn",
+            Tag::LwpExit => "lwp-exit",
+            Tag::LwpPark => "lwp-park",
+            Tag::LwpUnpark => "lwp-unpark",
+            Tag::SyscallEnter => "syscall-enter",
+            Tag::SyscallDone => "syscall-done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_indexed_by_discriminant() {
+        for (i, t) in Tag::ALL.iter().enumerate() {
+            assert_eq!(*t as usize, i);
+            assert_eq!(Tag::from_u16(i as u16), Some(*t));
+        }
+        assert_eq!(Tag::from_u16(NTAGS as u16), None);
+    }
+}

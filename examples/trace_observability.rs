@@ -1,0 +1,52 @@
+//! Observability demo: watch the Figure-2 dispatch cycle from live probes.
+//!
+//! Pins the pool to one LWP, runs three unbound threads that yield to each
+//! other, then prints the merged trace, the per-tag counters, the expanded
+//! scheduler stats, and writes a Chrome `trace_event` file.
+//!
+//! ```console
+//! $ cargo run --release --example trace_observability
+//! $ # then open trace.json in chrome://tracing or https://ui.perfetto.dev
+//! ```
+
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+fn main() {
+    threads::set_concurrency(1).expect("setconcurrency");
+    sunos_mt::trace::enable();
+
+    let ids: Vec<_> = (0..3)
+        .map(|_| {
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(|| (0..4).for_each(|_| threads::yield_now()))
+                .expect("spawn")
+        })
+        .collect();
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+
+    sunos_mt::trace::disable();
+    let events = sunos_mt::trace::drain();
+
+    println!("=== merged timeline ({} events) ===", events.len());
+    print!("{}", sunos_mt::trace::render(&events));
+
+    println!("=== per-tag counters ===");
+    print!("{}", sunos_mt::trace::counters().render());
+
+    let stats = threads::stats();
+    println!("=== scheduler stats ===");
+    println!("{stats:#?}");
+    for info in sunos_mt::threads::debug::threads_snapshot() {
+        println!(
+            "thread {:>3}: {:?} ctx_switches={} cpu_ns={}",
+            info.id.0, info.state, info.ctx_switches, info.cpu_ns
+        );
+    }
+
+    let json = sunos_mt::trace::export_chrome(&events);
+    std::fs::write("trace.json", &json).expect("write trace.json");
+    println!("wrote trace.json ({} bytes)", json.len());
+}

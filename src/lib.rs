@@ -14,6 +14,7 @@
 //! | [`shm`] | `sunmt-shm` | sync variables in `MAP_SHARED` files |
 //! | [`simkernel`] | `sunmt-simkernel` | deterministic kernel for scheduling experiments |
 //! | [`baselines`] | `sunmt-baselines` | N:1 (`liblwp`) and 1:1 (C Threads) comparisons |
+//! | [`trace`] | `sunmt-trace` | TNF-style probes, per-LWP rings, Chrome export |
 //! | [`sys`] | `sunmt-sys` | raw Linux syscalls (mmap/futex/clocks) |
 //!
 //! ## Quickstart
@@ -73,4 +74,9 @@ pub mod baselines {
 /// Raw kernel substrate (`sunmt-sys`).
 pub mod sys {
     pub use sunmt_sys::*;
+}
+
+/// TNF-style tracing and metrics (`sunmt-trace`).
+pub mod trace {
+    pub use sunmt_trace::*;
 }

@@ -158,9 +158,9 @@ fn condvar_functions_by_paper_name() {
     let cv = Condvar::new(SyncType::DEFAULT);
     cv_init(&cv, SyncType::DEFAULT);
     // The paper's monitor idiom with an already-true predicate.
-    let ready = true;
+    let ready = std::sync::atomic::AtomicBool::new(true);
     mutex_enter(&m);
-    while !ready {
+    while !ready.load(std::sync::atomic::Ordering::Relaxed) {
         cv_wait(&cv, &m);
     }
     mutex_exit(&m);

@@ -115,7 +115,11 @@ fn bounded_buffer_with_mixed_producers_and_consumers() {
         threads::wait(Some(id)).expect("wait");
     }
     let expected = PRODUCERS as u32 * (PER_PRODUCER * (PER_PRODUCER + 1) / 2) as u32;
-    assert_eq!(sum.load(Ordering::SeqCst), expected, "items lost or duplicated");
+    assert_eq!(
+        sum.load(Ordering::SeqCst),
+        expected,
+        "items lost or duplicated"
+    );
 }
 
 // -------------------------------------------------------------------------
@@ -191,7 +195,9 @@ fn rwlock_upgrade_downgrade_under_concurrency() {
     assert!(version >= writes.min(version), "sanity");
     assert_eq!(
         version,
-        won + (0..THREADS).map(|i| (0..ITERS).filter(|n| (n + i) % 3 == 1).count()).sum::<usize>(),
+        won + (0..THREADS)
+            .map(|i| (0..ITERS).filter(|n| (n + i) % 3 == 1).count())
+            .sum::<usize>(),
         "writer and upgrade counts must match version increments"
     );
 }

@@ -1,26 +1,30 @@
-//! Property-based tests (proptest) on the synchronization variables and
-//! the simulated kernel's invariants.
+//! Seeded randomized property tests on the synchronization variables and
+//! the simulated kernel's invariants. Each property runs many generated
+//! cases from a fixed-seed `SmallRng` stream, so failures replay exactly.
 
-use proptest::prelude::*;
-
+use sunmt_bench::rng::SmallRng;
 use sunos_mt::simkernel::threads::{install, PkgCosts, PkgModel, TOp, ThreadSpec};
 use sunos_mt::simkernel::{LwpProgram, Op, SchedClass, SimConfig, SimKernel};
 use sunos_mt::sync::{Mutex, RwLock, RwType, Sema, SyncType};
+
+const CASES: usize = 64;
 
 // ---------------------------------------------------------------------
 // Semaphore counting: any single-threaded sequence of try_p/v preserves
 // token conservation.
 
-proptest! {
-    #[test]
-    fn sema_token_conservation(initial in 0u32..16, ops in proptest::collection::vec(0u8..2, 0..200)) {
+#[test]
+fn sema_token_conservation() {
+    let mut rng = SmallRng::seed_from_u64(0x5E3A);
+    for case in 0..CASES {
+        let initial = rng.gen_range(0u32..16);
         let s = Sema::new(initial, SyncType::DEFAULT);
         let mut model = initial as i64;
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_range(0usize..200) {
+            match rng.gen_range(0u8..2) {
                 0 => {
                     let got = s.try_p();
-                    prop_assert_eq!(got, model > 0, "try_p disagrees with model");
+                    assert_eq!(got, model > 0, "case {case}: try_p disagrees with model");
                     if got {
                         model -= 1;
                     }
@@ -30,33 +34,45 @@ proptest! {
                     model += 1;
                 }
             }
-            prop_assert_eq!(s.count() as i64, model);
+            assert_eq!(s.count() as i64, model, "case {case}");
         }
     }
+}
 
-    // -----------------------------------------------------------------
-    // RwLock single-threaded protocol: any valid sequence of acquire /
-    // release / downgrade / try_upgrade keeps the holder invariant
-    // (writer XOR readers).
-    #[test]
-    fn rwlock_holder_invariant(ops in proptest::collection::vec(0u8..5, 0..200)) {
+// ---------------------------------------------------------------------
+// RwLock single-threaded protocol: any valid sequence of acquire /
+// release / downgrade / try_upgrade keeps the holder invariant
+// (writer XOR readers).
+
+#[test]
+fn rwlock_holder_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0x4377);
+    for case in 0..CASES {
         let l = RwLock::new(SyncType::DEFAULT);
         // Model: our own holds only (single-threaded).
         let mut readers = 0u32;
         let mut writer = false;
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_range(0usize..200) {
+            match rng.gen_range(0u8..5) {
                 0 => {
                     // try reader
                     let got = l.try_enter(RwType::Reader);
-                    prop_assert_eq!(got, !writer, "reader admission");
-                    if got { readers += 1; }
+                    assert_eq!(got, !writer, "case {case}: reader admission");
+                    if got {
+                        readers += 1;
+                    }
                 }
                 1 => {
                     // try writer
                     let got = l.try_enter(RwType::Writer);
-                    prop_assert_eq!(got, !writer && readers == 0, "writer admission");
-                    if got { writer = true; }
+                    assert_eq!(
+                        got,
+                        !writer && readers == 0,
+                        "case {case}: writer admission"
+                    );
+                    if got {
+                        writer = true;
+                    }
                 }
                 2 => {
                     // release one hold
@@ -80,31 +96,37 @@ proptest! {
                     // try_upgrade: succeeds iff we are the sole reader.
                     if readers == 1 && !writer {
                         let got = l.try_upgrade();
-                        prop_assert!(got, "sole reader must upgrade");
+                        assert!(got, "case {case}: sole reader must upgrade");
                         readers = 0;
                         writer = true;
                     }
                 }
             }
             let (w, r) = l.holders();
-            prop_assert_eq!(w, writer);
-            prop_assert_eq!(r, readers);
-            prop_assert!(!(w && r > 0), "writer and readers coexist");
+            assert_eq!(w, writer, "case {case}");
+            assert_eq!(r, readers, "case {case}");
+            assert!(!(w && r > 0), "case {case}: writer and readers coexist");
         }
     }
+}
 
-    // -----------------------------------------------------------------
-    // Mutex try/exit protocol against a model.
-    #[test]
-    fn mutex_try_protocol(ops in proptest::collection::vec(0u8..2, 0..200)) {
+// ---------------------------------------------------------------------
+// Mutex try/exit protocol against a model.
+
+#[test]
+fn mutex_try_protocol() {
+    let mut rng = SmallRng::seed_from_u64(0x307E);
+    for case in 0..CASES {
         let m = Mutex::new(SyncType::DEFAULT);
         let mut held = false;
-        for op in ops {
-            match op {
+        for _ in 0..rng.gen_range(0usize..200) {
+            match rng.gen_range(0u8..2) {
                 0 => {
                     let got = m.try_enter();
-                    prop_assert_eq!(got, !held);
-                    if got { held = true; }
+                    assert_eq!(got, !held, "case {case}");
+                    if got {
+                        held = true;
+                    }
                 }
                 _ => {
                     if held {
@@ -113,20 +135,29 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(m.is_locked(), held);
+            assert_eq!(m.is_locked(), held, "case {case}");
         }
     }
+}
 
-    // -----------------------------------------------------------------
-    // Simulated kernel: work conservation. For any set of compute-only
-    // LWPs on any CPU count, total CPU time equals total work and the
-    // makespan is bounded by serial/parallel limits.
-    #[test]
-    fn simkernel_work_conservation(
-        cpus in 1usize..4,
-        works in proptest::collection::vec(1u64..5_000, 1..12),
-    ) {
-        let mut k = SimKernel::new(SimConfig { cpus, ts_quantum: 700, dispatch_cost: 0 });
+// ---------------------------------------------------------------------
+// Simulated kernel: work conservation. For any set of compute-only LWPs
+// on any CPU count, total CPU time equals total work and the makespan is
+// bounded by serial/parallel limits.
+
+#[test]
+fn simkernel_work_conservation() {
+    let mut rng = SmallRng::seed_from_u64(0xC025);
+    for case in 0..CASES {
+        let cpus = rng.gen_range(1usize..4);
+        let works: Vec<u64> = (0..rng.gen_range(1usize..12))
+            .map(|_| rng.gen_range(1u64..5_000))
+            .collect();
+        let mut k = SimKernel::new(SimConfig {
+            cpus,
+            ts_quantum: 700,
+            dispatch_cost: 0,
+        });
         let pid = k.add_process();
         let lwps: Vec<_> = works
             .iter()
@@ -142,25 +173,36 @@ proptest! {
         let total: u64 = works.iter().sum();
         let longest: u64 = works.iter().copied().max().unwrap_or(0);
         for (lwp, w) in lwps.iter().zip(&works) {
-            prop_assert_eq!(k.lwp_cpu_time(*lwp), *w, "work not conserved");
+            assert_eq!(k.lwp_cpu_time(*lwp), *w, "case {case}: work not conserved");
         }
         // Parallel lower bound and serial upper bound.
-        prop_assert!(end >= longest.max(total / cpus as u64));
-        prop_assert!(end <= total);
+        assert!(end >= longest.max(total / cpus as u64), "case {case}");
+        assert!(end <= total, "case {case}");
     }
+}
 
-    // -----------------------------------------------------------------
-    // Simulated kernel: determinism for mixed workloads.
-    #[test]
-    fn simkernel_determinism(
-        cpus in 1usize..3,
-        seed_ops in proptest::collection::vec((0u8..4, 1u64..1_000), 1..10),
-    ) {
+// ---------------------------------------------------------------------
+// Simulated kernel: determinism for mixed workloads.
+
+#[test]
+fn simkernel_determinism() {
+    let mut rng = SmallRng::seed_from_u64(0xDE7E);
+    for case in 0..CASES {
+        let cpus = rng.gen_range(1usize..3);
+        let seed_ops: Vec<(u8, u64)> = (0..rng.gen_range(1usize..10))
+            .map(|_| (rng.gen_range(0u8..4), rng.gen_range(1u64..1_000)))
+            .collect();
         let build = |k: &mut SimKernel, pid| {
             for (kind, amt) in &seed_ops {
                 let ops = match kind {
                     0 => vec![Op::Compute(*amt), Op::Exit],
-                    1 => vec![Op::Syscall { latency: *amt, interruptible: false }, Op::Exit],
+                    1 => vec![
+                        Op::Syscall {
+                            latency: *amt,
+                            interruptible: false,
+                        },
+                        Op::Exit,
+                    ],
                     2 => vec![Op::Compute(*amt), Op::Yield, Op::Compute(*amt), Op::Exit],
                     _ => vec![Op::PageFault { latency: *amt }, Op::Compute(*amt), Op::Exit],
                 };
@@ -168,7 +210,11 @@ proptest! {
             }
         };
         let run = || {
-            let mut k = SimKernel::new(SimConfig { cpus, ts_quantum: 500, dispatch_cost: 5 });
+            let mut k = SimKernel::new(SimConfig {
+                cpus,
+                ts_quantum: 500,
+                dispatch_cost: 5,
+            });
             let pid = k.add_process();
             build(&mut k, pid);
             let end = k.run_until_idle(u64::MAX);
@@ -176,33 +222,52 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b, "same inputs must give identical traces");
+        assert_eq!(a, b, "case {case}: same inputs must give identical traces");
     }
+}
 
-    // -----------------------------------------------------------------
-    // The M:N package finishes every compute-only workload, with exactly
-    // as many completions as threads.
-    #[test]
-    fn mn_package_completes_all_threads(
-        lwps in 1usize..4,
-        works in proptest::collection::vec(1u64..2_000, 1..20),
-    ) {
-        let mut k = SimKernel::new(SimConfig { cpus: 2, ts_quantum: 1_000, dispatch_cost: 5 });
+// ---------------------------------------------------------------------
+// The M:N package finishes every compute-only workload, with exactly as
+// many completions as threads.
+
+#[test]
+fn mn_package_completes_all_threads() {
+    let mut rng = SmallRng::seed_from_u64(0x3A2D);
+    for case in 0..CASES {
+        let lwps = rng.gen_range(1usize..4);
+        let works: Vec<u64> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(1u64..2_000))
+            .collect();
+        let mut k = SimKernel::new(SimConfig {
+            cpus: 2,
+            ts_quantum: 1_000,
+            dispatch_cost: 5,
+        });
         let pid = k.add_process();
         let n = works.len();
         let h = install(
             &mut k,
             pid,
-            PkgModel::Mn { lwps, activations: false, growable: false },
-            PkgCosts { thread_switch: 3, thread_create: 0, lwp_create: 0 },
+            PkgModel::Mn {
+                lwps,
+                activations: false,
+                growable: false,
+            },
+            PkgCosts {
+                thread_switch: 3,
+                thread_create: 0,
+                lwp_create: 0,
+            },
             works
                 .into_iter()
-                .map(|w| ThreadSpec { ops: vec![TOp::Compute(w), TOp::Exit] })
+                .map(|w| ThreadSpec {
+                    ops: vec![TOp::Compute(w), TOp::Exit],
+                })
                 .collect(),
             0,
         );
         k.run_until_idle(u64::MAX);
-        prop_assert!(h.all_done());
-        prop_assert_eq!(h.metrics().threads_done, n);
+        assert!(h.all_done(), "case {case}");
+        assert_eq!(h.metrics().threads_done, n, "case {case}");
     }
 }

@@ -6,8 +6,7 @@
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sunmt_bench::rng::SmallRng;
 
 use sunos_mt::sync::{Mutex, Sema, SyncType};
 use sunos_mt::threads::{self, CreateFlags, ThreadBuilder, ThreadId};
@@ -21,7 +20,7 @@ struct World {
 
 fn worker(w: Arc<World>, seed: u64) -> impl FnOnce() + Send + 'static {
     move || {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         for _ in 0..rng.gen_range(5..40) {
             match rng.gen_range(0u8..5) {
                 0 => {
@@ -50,7 +49,7 @@ fn worker(w: Arc<World>, seed: u64) -> impl FnOnce() + Send + 'static {
 fn randomized_thread_soup() {
     const SEED: u64 = 0xC0FFEE;
     const WORKERS: usize = 48;
-    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rng = SmallRng::seed_from_u64(SEED);
     let world = Arc::new(World {
         counter_lock: Mutex::new(SyncType::DEFAULT),
         counter: AtomicUsize::new(0),

@@ -1,0 +1,138 @@
+//! Tracing end-to-end: the paper's Figure-2 dispatch cycle, observed.
+//!
+//! Three unbound threads multiplexed on a single pool LWP must produce the
+//! Figure-2 scheduling pattern — dispatch, run, switch out, dispatch the
+//! next — and the tracer must capture it coherently: timestamps merge
+//! non-decreasing, dispatch/switch-out events alternate per LWP, the
+//! aggregate counters agree with the timeline, and the Chrome export is
+//! well-formed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+use sunos_mt::trace::{self, Tag};
+
+const THREADS: usize = 3;
+const YIELDS: usize = 10;
+
+#[test]
+fn figure2_dispatch_cycle_is_observable() {
+    // Pin the pool to one LWP so every thread switch is a user-level
+    // dispatch on the same virtual CPU, as on the paper's uniprocessor.
+    threads::set_concurrency(1).expect("setconcurrency");
+    trace::enable();
+
+    let turns = Arc::new(AtomicUsize::new(0));
+    let mut ids = Vec::new();
+    for _ in 0..THREADS {
+        let t = Arc::clone(&turns);
+        ids.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    for _ in 0..YIELDS {
+                        t.fetch_add(1, Ordering::Relaxed);
+                        threads::yield_now();
+                    }
+                })
+                .expect("spawn"),
+        );
+    }
+    let spawned: Vec<u32> = ids.iter().map(|id| id.0).collect();
+    for id in ids {
+        threads::wait(Some(id)).expect("wait");
+    }
+    trace::disable();
+    assert_eq!(turns.load(Ordering::Relaxed), THREADS * YIELDS);
+
+    let events = trace::drain();
+    assert!(!events.is_empty(), "tracing captured nothing");
+
+    // The merged timeline is non-decreasing in time.
+    for w in events.windows(2) {
+        assert!(
+            w[1].ts_ns >= w[0].ts_ns,
+            "merge out of order: {:?} after {:?}",
+            w[1],
+            w[0]
+        );
+    }
+
+    // Figure-2 cycle: on any one LWP, dispatches and switch-outs strictly
+    // alternate (a thread must leave the LWP before the next one runs).
+    // The first event per LWP may be a switch-out if that LWP was already
+    // running a thread when the epoch began.
+    use std::collections::HashMap;
+    let mut running: HashMap<u32, Option<bool>> = HashMap::new();
+    for e in &events {
+        let slot = running.entry(e.lwp).or_insert(None);
+        match e.tag {
+            Tag::Dispatch => {
+                assert_ne!(
+                    *slot,
+                    Some(true),
+                    "two dispatches on lwp {} without a switch-out",
+                    e.lwp
+                );
+                *slot = Some(true);
+            }
+            Tag::SwitchOut => {
+                assert_ne!(
+                    *slot,
+                    Some(false),
+                    "two switch-outs on lwp {} without a dispatch",
+                    e.lwp
+                );
+                *slot = Some(false);
+            }
+            _ => {}
+        }
+    }
+
+    // Every spawned thread was dispatched repeatedly (it yielded YIELDS
+    // times), and each of its runs ended with a switch-out.
+    for id in &spawned {
+        let dispatches = events
+            .iter()
+            .filter(|e| e.tag == Tag::Dispatch && e.a == u64::from(*id))
+            .count();
+        assert!(
+            dispatches >= 2,
+            "thread {id} was dispatched {dispatches} times; yielding must \
+             multiplex it back onto the LWP"
+        );
+    }
+
+    // Counters see at least everything the rings kept (they also count
+    // events later overwritten, so >=).
+    let c = trace::counters();
+    for tag in [
+        Tag::Dispatch,
+        Tag::SwitchOut,
+        Tag::ThreadCreate,
+        Tag::ThreadExit,
+    ] {
+        let drained = events.iter().filter(|e| e.tag == tag).count() as u64;
+        assert!(
+            c.get(tag) >= drained,
+            "{} counter {} below drained count {drained}",
+            tag.name(),
+            c.get(tag)
+        );
+    }
+    assert!(c.get(Tag::ThreadCreate) >= THREADS as u64);
+    assert!(c.get(Tag::ThreadExit) >= THREADS as u64);
+
+    // The human dump has one line per event; the Chrome export is a JSON
+    // object with one record per emitted event phase.
+    assert_eq!(trace::render(&events).lines().count(), events.len());
+    let json = trace::export_chrome(&events);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("}"));
+    assert!(json.contains("\"ph\":\"B\""), "no begin slices in:\n{json}");
+    assert!(json.contains("\"ph\":\"E\""), "no end slices in:\n{json}");
+
+    // Back to automatic pool sizing for any test that follows.
+    threads::set_concurrency(0).expect("setconcurrency(0)");
+}
