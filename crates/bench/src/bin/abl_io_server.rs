@@ -1,0 +1,38 @@
+//! ABL-IO — thread-per-client echo server, M:N vs bound (see
+//! `sunmt_bench::io_bench` for the experiment design).
+//!
+//! Flags: `--smoke` shrinks the workload for CI; `--json <path>` writes the
+//! machine-readable table (committed as `BENCH_io.json`).
+
+use sunmt_bench::io_bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (clients, rounds) = if smoke { (8, 3) } else { (64, 10) };
+
+    let (mn, bound) = io_bench::run_abl_io(clients, rounds);
+    let t = io_bench::paper_table(clients, rounds, mn, bound);
+    t.print();
+    if let Err(e) = t.write_json_if_requested("abl_io", args) {
+        eprintln!("abl_io_server: {e}");
+        std::process::exit(2);
+    }
+
+    assert!(
+        mn.lwps_peak < bound.lwps_peak,
+        "shape check failed: M:N must use strictly fewer LWPs than \
+         one-LWP-per-client at {clients} clients (mn {} vs bound {})",
+        mn.lwps_peak,
+        bound.lwps_peak
+    );
+    assert_eq!(
+        mn.pool_grows, 0,
+        "shape check failed: parked I/O waiters must not trigger SIGWAITING \
+         pool growth"
+    );
+    println!(
+        "\nshape check: OK (mn_lwps {} < bound_lwps {}; no pool growth while parked)",
+        mn.lwps_peak, bound.lwps_peak
+    );
+}

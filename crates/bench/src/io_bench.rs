@@ -1,0 +1,150 @@
+//! ABL-IO — the paper's window-server workload made real.
+//!
+//! "A window system server can have one thread per client": N connections,
+//! most of them idle at any instant, each served by its own thread blocked
+//! in `read`. The experiment serves the same echo workload two ways:
+//!
+//! * **M:N** — unbound server threads on a pool pinned at 2 LWPs; a blocked
+//!   `sunmt_io::read` parks the *thread* on the user-level sleep queue via
+//!   the poller LWP, so idle clients consume no LWPs.
+//! * **bound** — one `BIND_LWP` thread per client, the 1:1 shape; every
+//!   idle client holds a kernel LWP in `poll`.
+//!
+//! The claim under test is not wall-clock (an echo round-trip is syscall
+//! bound either way) but *cost per idle client*: the peak LWP count for
+//! M:N must stay flat while the bound variant pays one LWP per connection.
+
+use core::time::Duration;
+
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_lwp::registry;
+use sunmt_sys::time::monotonic_now;
+
+use crate::PaperTable;
+
+/// What each server thread echoes per request.
+const MSG: &[u8] = b"req";
+
+/// One serving strategy's measured outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct IoPhase {
+    /// Wall-clock for the whole phase, in microseconds.
+    pub elapsed_us: f64,
+    /// Peak process-wide LWP count observed during the phase.
+    pub lwps_peak: usize,
+    /// `SIGWAITING`-style pool growth events during the phase.
+    pub pool_grows: u64,
+}
+
+/// Runs one phase: `clients` echo connections, each served by its own
+/// thread (unbound on a 2-LWP pool, or `BIND_LWP` when `bound`), driven
+/// through `rounds` bursts separated by idle gaps.
+pub fn run_phase(clients: usize, rounds: usize, bound: bool) -> IoPhase {
+    sunmt::init();
+    sunmt::set_concurrency(2).expect("set_concurrency(2)");
+    let grows_before = sunmt::stats().pool_grows;
+
+    let pairs: Vec<(i32, i32)> = (0..clients)
+        .map(|_| sunmt_io::socketpair_stream().expect("socketpair"))
+        .collect();
+    let flags = if bound {
+        CreateFlags::BIND_LWP | CreateFlags::WAIT
+    } else {
+        CreateFlags::WAIT
+    };
+
+    let start = monotonic_now();
+    let ids: Vec<_> = pairs
+        .iter()
+        .map(|&(srv, _)| {
+            ThreadBuilder::new()
+                .flags(flags)
+                .spawn(move || {
+                    let mut buf = [0u8; 64];
+                    loop {
+                        let n = sunmt_io::read(srv, &mut buf).expect("server read");
+                        if n == 0 {
+                            break; // client hung up
+                        }
+                        sunmt_io::write_all(srv, &buf[..n]).expect("server echo");
+                    }
+                })
+                .expect("spawn server thread")
+        })
+        .collect();
+
+    let mut peak = registry::global().counts().total;
+    for _ in 0..rounds {
+        // "Mostly idle": let every server thread park before the burst.
+        std::thread::sleep(Duration::from_millis(5));
+        peak = peak.max(registry::global().counts().total);
+        for &(_, cli) in &pairs {
+            sunmt_io::write_all(cli, MSG).expect("client request");
+        }
+        for &(_, cli) in &pairs {
+            let mut buf = [0u8; 64];
+            let mut got = 0;
+            while got < MSG.len() {
+                let n = sunmt_io::read(cli, &mut buf[got..MSG.len()]).expect("client read");
+                assert!(n > 0, "server hung up mid-echo");
+                got += n;
+            }
+            assert_eq!(&buf[..MSG.len()], MSG, "echo corrupted");
+        }
+        peak = peak.max(registry::global().counts().total);
+    }
+
+    for &(_, cli) in &pairs {
+        sunmt_io::close(cli).expect("close client end");
+    }
+    for id in ids {
+        sunmt::wait(Some(id)).expect("join server thread");
+    }
+    let elapsed = monotonic_now() - start;
+    for &(srv, _) in &pairs {
+        let _ = sunmt_io::close(srv);
+    }
+
+    IoPhase {
+        elapsed_us: elapsed.as_secs_f64() * 1e6,
+        lwps_peak: peak,
+        pool_grows: sunmt::stats().pool_grows - grows_before,
+    }
+}
+
+/// Runs both phases — M:N first so its LWP peak is measured before the
+/// bound phase inflates the process — and returns `(mn, bound)`.
+pub fn run_abl_io(clients: usize, rounds: usize) -> (IoPhase, IoPhase) {
+    let mn = run_phase(clients, rounds, false);
+    let bound = run_phase(clients, rounds, true);
+    (mn, bound)
+}
+
+/// Renders the experiment as a paper-style table. The machine-readable
+/// notes (`mn_lwps=`, `bound_lwps=`, `lwp_ratio=`) are what CI checks in
+/// `BENCH_io.json`.
+pub fn paper_table(clients: usize, rounds: usize, mn: IoPhase, bound: IoPhase) -> PaperTable {
+    let io = sunmt_io::stats();
+    let mut t = PaperTable::new(format!(
+        "ABL-IO: echo server, {clients} mostly-idle clients x {rounds} rounds, \
+         one thread per client (us)"
+    ));
+    t.row("M:N unbound threads (pool=2)", mn.elapsed_us)
+        .row("bound: one LWP per client", bound.elapsed_us)
+        .note(format!("clients={clients} rounds={rounds}"))
+        .note(format!(
+            "mn_lwps={} bound_lwps={} lwp_ratio={:.2}",
+            mn.lwps_peak,
+            bound.lwps_peak,
+            bound.lwps_peak as f64 / mn.lwps_peak as f64
+        ))
+        .note(format!(
+            "pool_grows: mn={} bound={}",
+            mn.pool_grows, bound.pool_grows
+        ))
+        .note(format!(
+            "poller: registrations={} parks={} unparks={} epoll_waits={}",
+            io.registrations, io.parks, io.unparks, io.epoll_waits
+        ));
+    t
+}

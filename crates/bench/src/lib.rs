@@ -7,6 +7,7 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod io_bench;
 pub mod rng;
 
 use std::time::Duration;

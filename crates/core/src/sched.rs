@@ -45,6 +45,9 @@ pub(crate) enum Action {
         addr: usize,
         /// Value the word must still hold for the sleep to commit.
         expected: u32,
+        /// Absolute monotonic deadline for a timed sleep; the timer LWP
+        /// wakes the thread when it passes.
+        deadline: Option<core::time::Duration>,
     },
     /// Transition to `Stopped` without requeueing.
     Stop,
@@ -85,6 +88,8 @@ pub(crate) struct Mt {
     pub dispatches: AtomicU64,
     /// Total pool-growth events (setconcurrency, NEW_LWP, SIGWAITING).
     pub pool_grows: AtomicU64,
+    /// Total user-level sleeps ended by their deadline (timer LWP wakeups).
+    pub timeout_wakeups: AtomicU64,
 }
 
 static MT: OnceLock<Mt> = OnceLock::new();
@@ -113,6 +118,7 @@ pub(crate) fn mt() -> &'static Mt {
             proc_pending: std::sync::atomic::AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
             pool_grows: AtomicU64::new(0),
+            timeout_wakeups: AtomicU64::new(0),
         }
     })
 }
@@ -431,7 +437,11 @@ fn run_one(t: Arc<Thread>) {
     sunmt_trace::set_current_thread(0);
     match action {
         Action::Yield => make_runnable(t),
-        Action::Sleep { addr, expected } => commit_sleep(t, addr, expected),
+        Action::Sleep {
+            addr,
+            expected,
+            deadline,
+        } => commit_sleep(t, addr, expected, deadline),
         Action::Stop => commit_stop(t),
         Action::Exit => reap(t),
         Action::None => unreachable!("thread switched out without an action"),
@@ -533,7 +543,12 @@ fn ensure_pool_min() {
     }
 }
 
-fn commit_sleep(t: Arc<Thread>, addr: usize, expected: u32) {
+fn commit_sleep(
+    t: Arc<Thread>,
+    addr: usize,
+    expected: u32,
+    deadline: Option<core::time::Duration>,
+) {
     let mut tbl = mt().sleepers.lock().expect("sleep table poisoned");
     // SAFETY: The park contract (inherited from the futex-shaped
     // BlockStrategy) requires `addr` to point at a live AtomicU32 for as
@@ -542,10 +557,36 @@ fn commit_sleep(t: Arc<Thread>, addr: usize, expected: u32) {
     if word.load(Ordering::SeqCst) == expected && !t.stop_requested.load(Ordering::SeqCst) {
         probe!(Tag::Sleep, t.id.0, addr);
         t.set_state(ThreadState::Sleeping);
-        tbl.insert(addr, t);
+        tbl.insert(addr, Arc::clone(&t));
+        drop(tbl);
+        if let Some(deadline) = deadline {
+            // Armed after the insert so an already-passed deadline finds
+            // the thread on its queue; registered outside the sleepers lock
+            // (the timer LWP takes sleepers when it fires).
+            crate::timeoutq::register(deadline, addr, Arc::downgrade(&t));
+        }
     } else {
         drop(tbl);
         // The wake (or a stop) already happened; go straight back around.
+        make_runnable(t);
+    }
+}
+
+/// Timer-LWP upcall: a timed user-level sleep reached its deadline. Wakes
+/// the thread only if it still sleeps on that same word — it may have been
+/// woken normally (and even gone back to sleep elsewhere) in the meantime,
+/// in which case the stale deadline is a no-op. A coincidental re-sleep on
+/// the *same* word can at worst cause a spurious wake, which the
+/// futex-shaped park contract already permits.
+pub(crate) fn timeout_wakeup(addr: usize, t: Arc<Thread>) {
+    let removed = mt()
+        .sleepers
+        .lock()
+        .expect("sleep table poisoned")
+        .remove_thread_at(addr, &t);
+    if removed {
+        mt().timeout_wakeups.fetch_add(1, Ordering::Relaxed);
+        probe!(Tag::SleepTimeout, t.id.0, addr);
         make_runnable(t);
     }
 }
@@ -905,6 +946,7 @@ pub fn stats() -> SchedStats {
         live_threads: threads.len(),
         dispatches: m.dispatches.load(Ordering::Relaxed),
         pool_grows: m.pool_grows.load(Ordering::Relaxed),
+        timeout_wakeups: m.timeout_wakeups.load(Ordering::Relaxed),
     }
 }
 
@@ -925,4 +967,6 @@ pub struct SchedStats {
     pub dispatches: u64,
     /// Total pool-growth events since library init.
     pub pool_grows: u64,
+    /// Total user-level sleeps ended by their deadline since library init.
+    pub timeout_wakeups: u64,
 }

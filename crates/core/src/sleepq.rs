@@ -64,6 +64,24 @@ impl SleepTable {
         false
     }
 
+    /// Removes a specific thread only if it sleeps on `addr`; returns
+    /// whether it did (used by timeout expiry, where the thread may have
+    /// already been woken and gone to sleep on a different variable).
+    pub fn remove_thread_at(&mut self, addr: usize, t: &Arc<Thread>) -> bool {
+        let Some(q) = self.queues.get_mut(&addr) else {
+            return false;
+        };
+        let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, t)) else {
+            return false;
+        };
+        q.remove(pos);
+        self.len -= 1;
+        if q.is_empty() {
+            self.queues.remove(&addr);
+        }
+        true
+    }
+
     /// Total number of sleeping threads.
     pub fn len(&self) -> usize {
         self.len

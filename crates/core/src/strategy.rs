@@ -42,11 +42,38 @@ impl BlockStrategy for MtStrategy {
             sched::deschedule(Action::Sleep {
                 addr: word.as_ptr() as usize,
                 expected,
+                deadline: None,
             });
         } else {
             // Kernel sleep (bound thread / adopted thread / bare LWP).
             if word.load(Ordering::SeqCst) == expected {
                 let _ = futex::wait(word, expected, Scope::Private);
+            }
+            sched::check_stop_current();
+            crate::signals::poll();
+        }
+    }
+
+    fn park_timeout(
+        &self,
+        word: &AtomicU32,
+        expected: u32,
+        shared: bool,
+        timeout: core::time::Duration,
+    ) {
+        debug_assert!(!shared, "shared variables park in the kernel directly");
+        if current_unbound() {
+            // Same user-level sleep as `park`, with a deadline the timer
+            // LWP enforces; no kernel timer is armed for the thread.
+            let deadline = sunmt_sys::time::monotonic_now() + timeout;
+            sched::deschedule(Action::Sleep {
+                addr: word.as_ptr() as usize,
+                expected,
+                deadline: Some(deadline),
+            });
+        } else {
+            if word.load(Ordering::SeqCst) == expected {
+                let _ = futex::wait_timeout(word, expected, Scope::Private, timeout);
             }
             sched::check_stop_current();
             crate::signals::poll();

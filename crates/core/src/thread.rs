@@ -369,3 +369,22 @@ pub fn set_concurrency(n: usize) -> Result<()> {
 pub fn concurrency() -> usize {
     sched::pool_size()
 }
+
+/// Whether the caller is an *unbound* thread under the user-level
+/// scheduler.
+///
+/// Never adopts the caller: a bare host thread (or one that has not touched
+/// the library yet) reports `false`. This is the dispatch predicate
+/// `sunmt-io` uses to mirror the sync-variable strategy split — unbound
+/// callers park at user level and free their LWP, everyone else blocks the
+/// LWP in the kernel.
+pub fn current_is_unbound() -> bool {
+    sched::maybe_current().is_some_and(|t| !t.bound)
+}
+
+/// Whether the caller already has a thread identity (bound, unbound, or a
+/// previously adopted host thread). `false` before threads-library init on
+/// this host thread; like [`current_is_unbound`], never adopts.
+pub fn current_has_thread() -> bool {
+    sched::maybe_current().is_some()
+}

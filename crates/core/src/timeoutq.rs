@@ -1,0 +1,167 @@
+//! Deadlines for user-level sleeps.
+//!
+//! A *kernel* timed block is one futex operation (`FUTEX_WAIT` with a
+//! timeout). A *user-level* sleep has no kernel timer attached — the thread
+//! is just an entry in the process's sleep table — so the library keeps its
+//! own deadline heap, serviced by one dedicated timer LWP. The timer LWP
+//! sleeps in the kernel until the earliest registered deadline (or until a
+//! new, earlier deadline is registered) and, on expiry, pulls the thread off
+//! its sleep queue and makes it runnable again, exactly as `cv_timedwait`
+//! needs. This mirrors the paper's division of labor: threads facilities
+//! stay in user space, with one LWP standing in for the kernel's timeout
+//! machinery.
+
+use core::time::Duration;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, Weak};
+
+use sunmt_lwp::{registry, Lwp};
+use sunmt_sys::futex::{self, Scope};
+use sunmt_sys::time::monotonic_now;
+
+use crate::thread::Thread;
+
+/// One armed deadline: wake `thread` (sleeping on `addr`) at `deadline`.
+struct Entry {
+    /// Absolute deadline on the monotonic clock.
+    deadline: Duration,
+    /// Registration order; breaks deadline ties deterministically (FIFO).
+    seq: u64,
+    /// The wait word the thread went to sleep on.
+    addr: usize,
+    /// The sleeper; weak so an exited thread never lingers in the heap.
+    thread: Weak<Thread>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TimeoutQueue {
+    /// Min-heap of armed deadlines.
+    heap: Mutex<BinaryHeap<Reverse<Entry>>>,
+    /// Generation word the timer LWP futex-waits on; bumped (with a wake)
+    /// whenever a registration makes the earliest deadline earlier.
+    generation: AtomicU32,
+    next_seq: AtomicU64,
+}
+
+static QUEUE: OnceLock<&'static TimeoutQueue> = OnceLock::new();
+
+/// The queue singleton; first use spawns the timer LWP.
+fn queue() -> &'static TimeoutQueue {
+    QUEUE.get_or_init(|| {
+        let q: &'static TimeoutQueue = Box::leak(Box::new(TimeoutQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            generation: AtomicU32::new(0),
+            next_seq: AtomicU64::new(0),
+        }));
+        let lwp = Lwp::spawn_named("sunmt-timer".to_string(), move || timer_loop(q))
+            .expect("failed to spawn the timer LWP");
+        drop(lwp); // Detached; it serves the whole process lifetime.
+        q
+    })
+}
+
+/// Arms a deadline for a thread that just committed a user-level sleep on
+/// `addr`. Called by the dispatcher after the sleep-table insert; the weak
+/// reference keeps an early wake (or thread exit) from pinning the thread.
+pub(crate) fn register(deadline: Duration, addr: usize, thread: Weak<Thread>) {
+    let q = queue();
+    let seq = q.next_seq.fetch_add(1, Ordering::Relaxed);
+    let earlier = {
+        let mut heap = q.heap.lock().expect("timeout heap poisoned");
+        let earlier = heap.peek().is_none_or(|Reverse(e)| deadline < e.deadline);
+        heap.push(Reverse(Entry {
+            deadline,
+            seq,
+            addr,
+            thread,
+        }));
+        earlier
+    };
+    if earlier {
+        // The timer LWP may be sleeping until a later deadline (or forever);
+        // bump the generation so its wait returns and it re-plans.
+        q.generation.fetch_add(1, Ordering::SeqCst);
+        let _ = futex::wake(&q.generation, 1, Scope::Private);
+    }
+}
+
+fn timer_loop(q: &'static TimeoutQueue) {
+    loop {
+        // Sample the generation *before* reading the heap: a registration
+        // that lands between the peek and the futex wait bumps it, and the
+        // wait then returns immediately instead of oversleeping.
+        let generation = q.generation.load(Ordering::SeqCst);
+        let now = monotonic_now();
+        let mut due = Vec::new();
+        let next = {
+            let mut heap = q.heap.lock().expect("timeout heap poisoned");
+            while heap.peek().is_some_and(|Reverse(e)| e.deadline <= now) {
+                due.push(heap.pop().expect("peeked entry vanished").0);
+            }
+            heap.peek().map(|Reverse(e)| e.deadline)
+        };
+        for e in due {
+            if let Some(t) = e.thread.upgrade() {
+                crate::sched::timeout_wakeup(e.addr, t);
+            }
+        }
+        // The timer LWP's sleep is an indefinite external wait in the
+        // registry's SIGWAITING accounting, like any poll()-shaped block.
+        registry::global().indefinite_wait(|| match next {
+            Some(d) => {
+                let _ = futex::wait_timeout(
+                    &q.generation,
+                    generation,
+                    Scope::Private,
+                    d.saturating_sub(now),
+                );
+            }
+            None => {
+                let _ = futex::wait(&q.generation, generation, Scope::Private);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_order_by_deadline_then_seq() {
+        let mk = |ms: u64, seq: u64| Entry {
+            deadline: Duration::from_millis(ms),
+            seq,
+            addr: 0,
+            thread: Weak::new(),
+        };
+        assert!(mk(1, 9) < mk(2, 0));
+        assert!(mk(5, 1) < mk(5, 2));
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(mk(30, 0)));
+        heap.push(Reverse(mk(10, 1)));
+        heap.push(Reverse(mk(20, 2)));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| e.deadline.as_millis() as u64)
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

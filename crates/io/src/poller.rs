@@ -1,0 +1,330 @@
+//! The I/O demultiplexer: one poller LWP, many parked threads.
+//!
+//! The window-server scenario in the paper needs "one thread per client"
+//! without one *LWP* per client. This module supplies the mechanism: every
+//! fd an unbound thread waits on is registered (level-triggered) with a
+//! single `epoll` instance owned by one dedicated poller LWP. The waiting
+//! thread parks on a private ready-word through the installed blocking
+//! strategy — i.e. onto the threads library's user-level sleep queue — so
+//! its LWP immediately dispatches other threads. When the kernel reports
+//! the fd ready, the poller LWP flips the ready-word and unparks the
+//! thread; it retries its nonblocking system call on whatever pool LWP
+//! picks it up.
+//!
+//! Lock order: the fd table lock is a leaf — it is never held across a
+//! park, an unpark, or `epoll_wait`, only across `epoll_ctl` and table
+//! surgery.
+
+use core::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use core::time::Duration;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Once, OnceLock};
+
+use sunmt_lwp::{registry, Lwp};
+use sunmt_sync::strategy;
+use sunmt_sys::fd::{self, EpollEvent};
+use sunmt_sys::time::monotonic_now;
+use sunmt_sys::Errno;
+use sunmt_trace::{probe, Tag};
+
+/// Which readiness a waiter needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Dir {
+    /// Readable (also used for `accept`).
+    Read,
+    /// Writable.
+    Write,
+}
+
+/// Ready-word values.
+const WAITING: u32 = 0;
+const READY: u32 = 1;
+
+/// `epoll_event.data` key reserved for the internal wakeup eventfd.
+const WAKE_KEY: u64 = u64::MAX;
+
+/// One parked (or about-to-park) thread's ready flag. The waiter parks on
+/// `word` while it holds [`WAITING`]; the poller stores [`READY`] and
+/// unparks. Shared `Arc` ownership keeps the word alive for whichever side
+/// finishes last.
+struct Waiter {
+    word: AtomicU32,
+}
+
+/// Waiters interested in one fd, plus the event mask currently armed in
+/// the kernel for it (0 = not registered).
+#[derive(Default)]
+struct FdEntry {
+    read: Vec<Arc<Waiter>>,
+    write: Vec<Arc<Waiter>>,
+    armed: u32,
+}
+
+impl FdEntry {
+    fn wanted_mask(&self) -> u32 {
+        let mut mask = 0;
+        if !self.read.is_empty() {
+            mask |= fd::EPOLLIN | fd::EPOLLRDHUP;
+        }
+        if !self.write.is_empty() {
+            mask |= fd::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// The process-wide demultiplexer (see module docs).
+pub(crate) struct Poller {
+    epfd: i32,
+    /// Internal wakeup channel: writing 8 bytes to it kicks the poller LWP
+    /// out of `epoll_wait` (reserved for shutdown-style control messages;
+    /// interest changes need no kick — `epoll_ctl` takes effect while the
+    /// poller sleeps).
+    evfd: i32,
+    fds: Mutex<HashMap<i32, FdEntry>>,
+    pub(crate) registrations: AtomicU64,
+    pub(crate) readies: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) unparks: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) epoll_waits: AtomicU64,
+    pub(crate) pending: AtomicUsize,
+}
+
+static POLLER: OnceLock<Poller> = OnceLock::new();
+static START: Once = Once::new();
+
+/// The poller singleton, spawning its LWP on first use.
+pub(crate) fn global() -> &'static Poller {
+    let p = POLLER.get_or_init(|| {
+        let epfd = fd::epoll_create1(fd::EPOLL_CLOEXEC).expect("epoll_create1 failed");
+        let evfd = fd::eventfd2(0, fd::EFD_NONBLOCK | fd::EFD_CLOEXEC).expect("eventfd2 failed");
+        let ev = EpollEvent {
+            events: fd::EPOLLIN,
+            data: WAKE_KEY,
+        };
+        fd::epoll_ctl(epfd, fd::EPOLL_CTL_ADD, evfd, Some(&ev))
+            .expect("failed to register the wakeup eventfd");
+        Poller {
+            epfd,
+            evfd,
+            fds: Mutex::new(HashMap::new()),
+            registrations: AtomicU64::new(0),
+            readies: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            epoll_waits: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+        }
+    });
+    // The LWP is spawned outside get_or_init: its loop touches the
+    // singleton, and re-entering a OnceLock initializer deadlocks.
+    START.call_once(|| {
+        let lwp = Lwp::spawn_named("sunmt-io-poller".to_string(), || poller_loop(global()))
+            .expect("failed to spawn the poller LWP");
+        drop(lwp); // Detached; it serves the whole process lifetime.
+    });
+    p
+}
+
+/// The poller if it has ever been started (for stats without side effects).
+pub(crate) fn maybe_global() -> Option<&'static Poller> {
+    POLLER.get()
+}
+
+impl Poller {
+    /// Registers interest and parks until `fd` is ready in direction `dir`
+    /// or `deadline` (absolute monotonic) passes — then `Err(ETIMEDOUT)`.
+    ///
+    /// Must be called from an unbound thread: the park goes through the
+    /// installed blocking strategy and lands on the user-level sleep queue,
+    /// freeing this LWP.
+    pub(crate) fn wait(
+        &self,
+        io_fd: i32,
+        dir: Dir,
+        deadline: Option<Duration>,
+    ) -> Result<(), Errno> {
+        let w = Arc::new(Waiter {
+            word: AtomicU32::new(WAITING),
+        });
+        {
+            let mut fds = self.fds.lock().expect("fd table poisoned");
+            let entry = fds.entry(io_fd).or_default();
+            match dir {
+                Dir::Read => entry.read.push(Arc::clone(&w)),
+                Dir::Write => entry.write.push(Arc::clone(&w)),
+            }
+            if let Err(e) = self.arm_locked(io_fd, entry) {
+                // Roll the registration back; the caller sees the real error
+                // (e.g. EBADF) instead of hanging.
+                let list = match dir {
+                    Dir::Read => &mut entry.read,
+                    Dir::Write => &mut entry.write,
+                };
+                if let Some(pos) = list.iter().position(|x| Arc::ptr_eq(x, &w)) {
+                    list.remove(pos);
+                }
+                if entry.read.is_empty() && entry.write.is_empty() {
+                    fds.remove(&io_fd);
+                }
+                return Err(e);
+            }
+        }
+        probe!(Tag::IoRegister, io_fd as u64, (dir == Dir::Write) as u64);
+        self.registrations.fetch_add(1, Ordering::Relaxed);
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let result = self.park(io_fd, dir, deadline, &w);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn park(
+        &self,
+        io_fd: i32,
+        dir: Dir,
+        deadline: Option<Duration>,
+        w: &Arc<Waiter>,
+    ) -> Result<(), Errno> {
+        loop {
+            if w.word.load(Ordering::SeqCst) == READY {
+                return Ok(());
+            }
+            match deadline {
+                None => {
+                    probe!(Tag::IoPark, io_fd as u64);
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    strategy::park(&w.word, WAITING, false);
+                }
+                Some(d) => {
+                    let now = monotonic_now();
+                    if now >= d {
+                        let mut fds = self.fds.lock().expect("fd table poisoned");
+                        if let Some(entry) = fds.get_mut(&io_fd) {
+                            let list = match dir {
+                                Dir::Read => &mut entry.read,
+                                Dir::Write => &mut entry.write,
+                            };
+                            if let Some(pos) = list.iter().position(|x| Arc::ptr_eq(x, w)) {
+                                // Still queued: the poller has not claimed
+                                // us, so the timeout wins. Deregister.
+                                list.remove(pos);
+                                self.rearm_or_remove_locked(io_fd, &mut fds);
+                                drop(fds);
+                                probe!(Tag::IoTimeout, io_fd as u64);
+                                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                                return Err(Errno::ETIMEDOUT);
+                            }
+                        }
+                        // The poller claimed us concurrently; readiness
+                        // wins (its unpark of our word is benign).
+                        return Ok(());
+                    }
+                    probe!(Tag::IoPark, io_fd as u64);
+                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    strategy::park_timeout(&w.word, WAITING, false, d - now);
+                }
+            }
+        }
+    }
+
+    /// Syncs the kernel-armed mask with the entry's waiters. Call with the
+    /// fd table locked.
+    fn arm_locked(&self, io_fd: i32, entry: &mut FdEntry) -> Result<(), Errno> {
+        let want = entry.wanted_mask();
+        if want == entry.armed {
+            return Ok(());
+        }
+        let ev = EpollEvent {
+            events: want,
+            data: io_fd as u64,
+        };
+        let r = if entry.armed == 0 {
+            match fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_ADD, io_fd, Some(&ev)) {
+                // Someone registered this fd before us and we lost the
+                // armed-mask memo (e.g. a dup'd descriptor); modify instead.
+                Err(Errno::EEXIST) => fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_MOD, io_fd, Some(&ev)),
+                other => other,
+            }
+        } else {
+            match fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_MOD, io_fd, Some(&ev)) {
+                Err(Errno::ENOENT) => fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_ADD, io_fd, Some(&ev)),
+                other => other,
+            }
+        };
+        r?;
+        entry.armed = want;
+        Ok(())
+    }
+
+    /// Re-arms `io_fd` for the waiters that remain, or deletes it from both
+    /// the table and the epoll set when none do. Call with the table locked.
+    fn rearm_or_remove_locked(&self, io_fd: i32, fds: &mut HashMap<i32, FdEntry>) {
+        let Some(entry) = fds.get_mut(&io_fd) else {
+            return;
+        };
+        if entry.read.is_empty() && entry.write.is_empty() {
+            if entry.armed != 0 {
+                // ENOENT/EBADF just mean the fd is already gone.
+                let _ = fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_DEL, io_fd, None);
+            }
+            fds.remove(&io_fd);
+        } else {
+            // A failed re-arm surfaces on the waiter's next syscall retry.
+            let _ = self.arm_locked(io_fd, entry);
+        }
+    }
+}
+
+fn poller_loop(p: &'static Poller) {
+    let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+    loop {
+        p.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        // The poller LWP's wait is the canonical "indefinite, external
+        // wait" of the paper's SIGWAITING accounting.
+        let n = registry::global().indefinite_wait(|| fd::epoll_wait(p.epfd, &mut events, -1));
+        let n = match n {
+            Ok(n) => n,
+            Err(Errno::EINTR) => continue,
+            Err(e) => unreachable!("epoll_wait on a private epoll fd failed: {e}"),
+        };
+        for ev in &events[..n] {
+            let data = ev.data;
+            let mask = ev.events;
+            if data == WAKE_KEY {
+                let mut drain = [0u8; 8];
+                let _ = fd::read(p.evfd, &mut drain);
+                continue;
+            }
+            let io_fd = data as i32;
+            probe!(Tag::IoReady, io_fd as u64, mask as u64);
+            p.readies.fetch_add(1, Ordering::Relaxed);
+            let woken = {
+                let mut fds = p.fds.lock().expect("fd table poisoned");
+                let Some(entry) = fds.get_mut(&io_fd) else {
+                    // Every waiter timed out between the kernel queueing
+                    // this event and us processing it; nothing to do (the
+                    // deregistration already deleted the epoll entry).
+                    continue;
+                };
+                let error = mask & (fd::EPOLLERR | fd::EPOLLHUP | fd::EPOLLRDHUP) != 0;
+                let mut woken = Vec::new();
+                if error || mask & fd::EPOLLIN != 0 {
+                    woken.append(&mut entry.read);
+                }
+                if error || mask & fd::EPOLLOUT != 0 {
+                    woken.append(&mut entry.write);
+                }
+                p.rearm_or_remove_locked(io_fd, &mut fds);
+                woken
+            };
+            for w in woken {
+                w.word.store(READY, Ordering::SeqCst);
+                probe!(Tag::IoUnpark, io_fd as u64);
+                p.unparks.fetch_add(1, Ordering::Relaxed);
+                strategy::unpark(&w.word, u32::MAX, false);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Deterministic timeout ordering: timed blocking waits must complete in
+//! *deadline* order, independent of the order the waiters were created —
+//! the simulated-kernel model of the timer machinery behind `cv_timedwait`
+//! and timed I/O. Ties and repeat runs must also be deterministic, so the
+//! experiment harness can diff traces across PRs.
+
+use sunmt_simkernel::lwp::{LwpProgram, Op};
+use sunmt_simkernel::sched::SchedClass;
+use sunmt_simkernel::trace::TraceEvent;
+use sunmt_simkernel::{SimConfig, SimKernel};
+
+fn kern() -> SimKernel {
+    SimKernel::new(SimConfig {
+        cpus: 4,
+        ts_quantum: 1_000,
+        dispatch_cost: 0,
+    })
+}
+
+/// Spawns one LWP per latency (in the given creation order) and returns
+/// the `SyscallDone` completions as `(time, lwp_index_in_creation_order)`.
+fn run_timers(latencies: &[u64]) -> Vec<(u64, usize)> {
+    let mut k = kern();
+    let pid = k.add_process();
+    let lwps: Vec<_> = latencies
+        .iter()
+        .map(|&latency| {
+            k.add_lwp(
+                pid,
+                SchedClass::Ts,
+                LwpProgram::Script(vec![
+                    Op::Syscall {
+                        latency,
+                        interruptible: true,
+                    },
+                    Op::Exit,
+                ]),
+            )
+        })
+        .collect();
+    k.run_until_idle(1_000_000);
+    k.trace()
+        .filter(|e| matches!(e, TraceEvent::SyscallDone { .. }))
+        .map(|&(now, ref e)| match e {
+            TraceEvent::SyscallDone { lwp, .. } => {
+                (now, lwps.iter().position(|l| l == lwp).expect("known lwp"))
+            }
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+#[test]
+fn timed_waits_complete_in_deadline_order_not_creation_order() {
+    // Created as 300, 100, 200 — must complete as 100, 200, 300.
+    let done = run_timers(&[300, 100, 200]);
+    assert_eq!(
+        done,
+        vec![(100, 1), (200, 2), (300, 0)],
+        "completions must sort by deadline, not by creation order"
+    );
+}
+
+#[test]
+fn equal_deadlines_break_ties_deterministically() {
+    let a = run_timers(&[500, 500, 500]);
+    let b = run_timers(&[500, 500, 500]);
+    assert_eq!(a, b, "tied deadlines must resolve the same way every run");
+    assert!(a.iter().all(|&(now, _)| now == 500));
+    let mut seen: Vec<usize> = a.iter().map(|&(_, i)| i).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![0, 1, 2], "every waiter completes exactly once");
+}
+
+#[test]
+fn repeat_runs_produce_identical_traces() {
+    let a = run_timers(&[250, 50, 999, 50, 400]);
+    let b = run_timers(&[250, 50, 999, 50, 400]);
+    assert_eq!(a, b, "the simulation must be fully deterministic");
+    // And the deadline-sorted property holds with duplicates present.
+    let times: Vec<u64> = a.iter().map(|&(now, _)| now).collect();
+    let mut sorted = times.clone();
+    sorted.sort_unstable();
+    assert_eq!(times, sorted);
+}

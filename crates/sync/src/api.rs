@@ -38,6 +38,14 @@ pub fn cv_wait(cvp: &Condvar, mutexp: &Mutex) {
     cvp.wait(mutexp);
 }
 
+/// `cv_timedwait(cvp, mutexp, timeout)`.
+///
+/// Returns `true` if signaled, `false` on timeout (the paper's C version
+/// returns -1 with `errno == ETIME`). The mutex is reacquired either way.
+pub fn cv_timedwait(cvp: &Condvar, mutexp: &Mutex, timeout: core::time::Duration) -> bool {
+    cvp.timed_wait(mutexp, timeout)
+}
+
 /// `cv_signal(cvp)`.
 pub fn cv_signal(cvp: &Condvar) {
     cvp.signal();
@@ -56,6 +64,13 @@ pub fn sema_init(sp: &Sema, count: u32, kind: SyncType) {
 /// `sema_p(sp)`.
 pub fn sema_p(sp: &Sema) {
     sp.p();
+}
+
+/// `sema_timedp(sp, timeout)`.
+///
+/// Returns whether the decrement happened before the timeout.
+pub fn sema_timedp(sp: &Sema, timeout: core::time::Duration) -> bool {
+    sp.timed_p(timeout)
 }
 
 /// `sema_v(sp)`.

@@ -5,6 +5,7 @@
 //! This implements a typical monitor."
 
 use core::sync::atomic::{AtomicU32, Ordering};
+use core::time::Duration;
 
 use crate::mutex::Mutex;
 use crate::strategy;
@@ -80,6 +81,35 @@ impl Condvar {
         strategy::park(&self.seq, seen, self.shared());
         self.waiters.fetch_sub(1, Ordering::SeqCst);
         mutex.enter();
+    }
+
+    /// `cv_timedwait()`: like [`Self::wait`], but gives up after `timeout`.
+    ///
+    /// Returns `true` if the variable was signaled and `false` on timeout.
+    /// Either way the mutex is reacquired before returning, and (as with
+    /// `cv_wait`) the caller must re-test its predicate: a `true` return
+    /// means a signal arrived, not that this thread's condition holds.
+    pub fn timed_wait(&self, mutex: &Mutex, timeout: Duration) -> bool {
+        let deadline = sunmt_sys::time::monotonic_now() + timeout;
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let seen = self.seq.load(Ordering::SeqCst);
+        mutex.exit();
+        sunmt_trace::probe!(sunmt_trace::Tag::CvBlock, &self.seq as *const _ as usize);
+        // The park carries no verdict (it may return spuriously), so the
+        // deadline is re-derived from the clock each round.
+        let signaled = loop {
+            if self.seq.load(Ordering::SeqCst) != seen {
+                break true;
+            }
+            let now = sunmt_sys::time::monotonic_now();
+            if now >= deadline {
+                break false;
+            }
+            strategy::park_timeout(&self.seq, seen, self.shared(), deadline - now);
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        mutex.enter();
+        signaled
     }
 
     /// `cv_signal()`: wakes one of the threads blocked in [`Self::wait`].
@@ -177,6 +207,48 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn timed_wait_times_out_with_mutex_reacquired() {
+        let m = Mutex::new(SyncType::DEFAULT);
+        let cv = Condvar::new(SyncType::DEFAULT);
+        m.enter();
+        let t0 = sunmt_sys::time::monotonic_now();
+        let signaled = cv.timed_wait(&m, Duration::from_millis(30));
+        let waited = sunmt_sys::time::monotonic_now() - t0;
+        assert!(!signaled);
+        assert!(
+            waited >= Duration::from_millis(25),
+            "returned after {waited:?}"
+        );
+        // The mutex must be held again on return.
+        m.exit();
+    }
+
+    #[test]
+    fn timed_wait_returns_true_on_signal() {
+        let mon = Arc::new(Monitor {
+            m: Mutex::new(SyncType::DEFAULT),
+            cv: Condvar::new(SyncType::DEFAULT),
+            ready: AtomicUsize::new(0),
+        });
+        let mon2 = Arc::clone(&mon);
+        let signaler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            mon2.m.enter();
+            mon2.ready.store(1, Ordering::Relaxed);
+            mon2.cv.signal();
+            mon2.m.exit();
+        });
+        mon.m.enter();
+        let mut signaled = true;
+        while mon.ready.load(Ordering::Relaxed) == 0 && signaled {
+            signaled = mon.cv.timed_wait(&mon.m, Duration::from_secs(10));
+        }
+        mon.m.exit();
+        assert!(signaled);
+        signaler.join().unwrap();
     }
 
     #[test]

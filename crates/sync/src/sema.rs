@@ -83,6 +83,34 @@ impl Sema {
         self.waiters.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// `sema_timedp()`: like [`Self::p`], but gives up after `timeout`.
+    ///
+    /// Returns whether the decrement happened.
+    pub fn timed_p(&self, timeout: core::time::Duration) -> bool {
+        if self.try_dec() {
+            return true;
+        }
+        let deadline = sunmt_sys::time::monotonic_now() + timeout;
+        let shared = self.shared();
+        self.waiters.fetch_add(1, Ordering::Relaxed);
+        let got = loop {
+            if self.try_dec() {
+                break true;
+            }
+            let now = sunmt_sys::time::monotonic_now();
+            if now >= deadline {
+                break false;
+            }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::SemaBlock,
+                &self.count as *const _ as usize
+            );
+            strategy::park_timeout(&self.count, 0, shared, deadline - now);
+        };
+        self.waiters.fetch_sub(1, Ordering::Relaxed);
+        got
+    }
+
     /// `sema_tryp()`: decrements only if blocking is not required; returns
     /// whether the decrement happened.
     pub fn try_p(&self) -> bool {
@@ -150,6 +178,33 @@ mod tests {
         let h = std::thread::spawn(move || s2.p());
         std::thread::sleep(Duration::from_millis(10));
         s.v();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timed_p_times_out_on_empty_semaphore() {
+        let s = Sema::new(0, SyncType::DEFAULT);
+        let t0 = sunmt_sys::time::monotonic_now();
+        assert!(!s.timed_p(Duration::from_millis(30)));
+        let waited = sunmt_sys::time::monotonic_now() - t0;
+        assert!(
+            waited >= Duration::from_millis(25),
+            "returned after {waited:?}"
+        );
+        // The failed acquire must not consume a later token.
+        s.v();
+        assert!(s.timed_p(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn timed_p_succeeds_when_v_arrives() {
+        let s = Arc::new(Sema::new(0, SyncType::DEFAULT));
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            s2.v();
+        });
+        assert!(s.timed_p(Duration::from_secs(10)));
         h.join().unwrap();
     }
 

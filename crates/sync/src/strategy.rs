@@ -13,6 +13,7 @@
 //! `unpark(word, n)` releases up to `n` sleepers.
 
 use core::sync::atomic::AtomicU32;
+use core::time::Duration;
 use std::sync::OnceLock;
 
 use sunmt_sys::futex::{self, Scope};
@@ -27,6 +28,26 @@ pub trait BlockStrategy: Sync {
     /// `shared` is true for `SYNC_SHARED` variables: those must always park
     /// in the kernel so that waiters in *other processes* can be woken.
     fn park(&self, word: &AtomicU32, expected: u32, shared: bool);
+
+    /// Like [`Self::park`], but returns (spuriously or otherwise) no later
+    /// than `timeout` from now. Used by the timed primitives
+    /// (`cv_timedwait`, `sema_timedp`, I/O deadlines); callers re-check
+    /// both their predicate and their deadline, so the return carries no
+    /// "timed out" verdict.
+    ///
+    /// The default is the kernel path — a futex wait with a timeout — which
+    /// is correct for any backend whose `park` is a kernel block. The
+    /// threads library overrides it to put unbound threads on the
+    /// user-level sleep queue with a deadline instead.
+    fn park_timeout(&self, word: &AtomicU32, expected: u32, shared: bool, timeout: Duration) {
+        let scope = if shared {
+            Scope::Shared
+        } else {
+            Scope::Private
+        };
+        // Mismatch, wake, and timeout all mean "re-check".
+        let _ = futex::wait_timeout(word, expected, scope, timeout);
+    }
 
     /// Wakes up to `n` contexts parked on `word`.
     fn unpark(&self, word: &AtomicU32, n: u32, shared: bool);
@@ -107,6 +128,17 @@ pub fn park(word: &AtomicU32, expected: u32, shared: bool) {
         KERNEL_BLOCK.park(word, expected, true);
     } else {
         current().park(word, expected, false);
+    }
+}
+
+/// Parks with a deadline through the current strategy; see
+/// [`BlockStrategy::park_timeout`].
+#[inline]
+pub fn park_timeout(word: &AtomicU32, expected: u32, shared: bool, timeout: Duration) {
+    if shared {
+        KERNEL_BLOCK.park_timeout(word, expected, true, timeout);
+    } else {
+        current().park_timeout(word, expected, false, timeout);
     }
 }
 

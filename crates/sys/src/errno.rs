@@ -16,8 +16,20 @@ impl Errno {
     pub const ESRCH: Errno = Errno(3);
     /// Interrupted system call.
     pub const EINTR: Errno = Errno(4);
+    /// No such file or directory (epoll: fd not registered).
+    pub const ENOENT: Errno = Errno(2);
+    /// Bad file descriptor.
+    pub const EBADF: Errno = Errno(9);
     /// Try again / would block (`EWOULDBLOCK`).
     pub const EAGAIN: Errno = Errno(11);
+    /// File exists (epoll: fd already registered).
+    pub const EEXIST: Errno = Errno(17);
+    /// Broken pipe.
+    pub const EPIPE: Errno = Errno(32);
+    /// Connection reset by peer.
+    pub const ECONNRESET: Errno = Errno(104);
+    /// Operation now in progress (nonblocking `connect`).
+    pub const EINPROGRESS: Errno = Errno(115);
     /// Out of memory.
     pub const ENOMEM: Errno = Errno(12);
     /// Bad address.
@@ -46,15 +58,21 @@ impl Errno {
     fn name(self) -> Option<&'static str> {
         Some(match self.0 {
             1 => "EPERM",
+            2 => "ENOENT",
             3 => "ESRCH",
             4 => "EINTR",
+            9 => "EBADF",
             11 => "EAGAIN",
             12 => "ENOMEM",
             14 => "EFAULT",
             16 => "EBUSY",
+            17 => "EEXIST",
             22 => "EINVAL",
+            32 => "EPIPE",
             38 => "ENOSYS",
+            104 => "ECONNRESET",
             110 => "ETIMEDOUT",
+            115 => "EINPROGRESS",
             _ => return None,
         })
     }

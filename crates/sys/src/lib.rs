@@ -16,6 +16,7 @@
 compile_error!("sunmt-sys supports only x86_64 Linux");
 
 pub mod errno;
+pub mod fd;
 pub mod futex;
 pub mod mem;
 pub mod syscall;

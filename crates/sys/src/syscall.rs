@@ -12,15 +12,32 @@ use crate::errno::Errno;
 /// System-call numbers used by this workspace (x86-64 Linux ABI).
 #[allow(missing_docs)]
 pub mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const POLL: usize = 7;
     pub const MMAP: usize = 9;
     pub const MPROTECT: usize = 10;
     pub const MUNMAP: usize = 11;
     pub const SCHED_YIELD: usize = 24;
     pub const NANOSLEEP: usize = 35;
     pub const GETPID: usize = 39;
+    pub const SOCKET: usize = 41;
+    pub const CONNECT: usize = 42;
+    pub const BIND: usize = 49;
+    pub const LISTEN: usize = 50;
+    pub const GETSOCKNAME: usize = 51;
+    pub const SOCKETPAIR: usize = 53;
+    pub const FCNTL: usize = 72;
     pub const GETTID: usize = 186;
     pub const FUTEX: usize = 202;
     pub const CLOCK_GETTIME: usize = 228;
+    pub const EPOLL_WAIT: usize = 232;
+    pub const EPOLL_CTL: usize = 233;
+    pub const ACCEPT4: usize = 288;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+    pub const PIPE2: usize = 293;
 }
 
 /// Converts a raw kernel return value into a `Result`.

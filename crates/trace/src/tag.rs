@@ -57,10 +57,24 @@ pub enum Tag {
     SyscallEnter = 21,
     /// Simulated kernel: system call completed (`a` = 1 if EINTR).
     SyscallDone = 22,
+    /// I/O interest registered with the poller (`a` = fd, `b` = 0 read /
+    /// 1 write).
+    IoRegister = 23,
+    /// Poller observed an fd ready (`a` = fd, `b` = epoll event mask).
+    IoReady = 24,
+    /// Thread parked waiting for I/O readiness (`a` = fd).
+    IoPark = 25,
+    /// Poller unparked an I/O waiter (`a` = fd).
+    IoUnpark = 26,
+    /// A timed I/O wait expired (`a` = fd).
+    IoTimeout = 27,
+    /// A user-level sleep's deadline expired; the timer LWP made the
+    /// thread runnable (`a` = thread id, `b` = wait word).
+    SleepTimeout = 28,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 23;
+pub const NTAGS: usize = 29;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -88,6 +102,12 @@ impl Tag {
         Tag::LwpUnpark,
         Tag::SyscallEnter,
         Tag::SyscallDone,
+        Tag::IoRegister,
+        Tag::IoReady,
+        Tag::IoPark,
+        Tag::IoUnpark,
+        Tag::IoTimeout,
+        Tag::SleepTimeout,
     ];
 
     /// Decodes a stored discriminant.
@@ -121,6 +141,12 @@ impl Tag {
             Tag::LwpUnpark => "lwp-unpark",
             Tag::SyscallEnter => "syscall-enter",
             Tag::SyscallDone => "syscall-done",
+            Tag::IoRegister => "io-register",
+            Tag::IoReady => "io-ready",
+            Tag::IoPark => "io-park",
+            Tag::IoUnpark => "io-unpark",
+            Tag::IoTimeout => "io-timeout",
+            Tag::SleepTimeout => "sleep-timeout",
         }
     }
 }

@@ -1,0 +1,101 @@
+//! The paper's window-server scenario on real sockets: "a window system
+//! server can have one thread per client" — here one *unbound* thread per
+//! connection, all of them multiplexed over a 2-LWP pool. A thread blocked
+//! in `sunmt_io::read` parks on the user-level sleep queue via the poller
+//! LWP, so 32 mostly-idle connections never hold more than a handful of
+//! kernel LWPs.
+//!
+//! Run with: `cargo run --release --example echo_server`
+
+use std::sync::Arc;
+
+use sunos_mt::io as sunmt_io;
+use sunos_mt::sync::{Sema, SyncType};
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+const CLIENTS: usize = 32;
+const ROUNDS: usize = 4;
+
+fn main() {
+    threads::init();
+    threads::set_concurrency(2).expect("pin the unbound pool at 2 LWPs");
+
+    // Growth counted from here on is SIGWAITING-style deadlock avoidance;
+    // the events before this line are just the pool being built.
+    let grows_setup = threads::stats().pool_grows;
+
+    let (listener, port) = sunmt_io::listen_loopback(CLIENTS as i32).expect("listen");
+    println!("echo server on 127.0.0.1:{port}, serving {CLIENTS} clients");
+
+    // The acceptor: one unbound thread handing each connection to a new
+    // unbound server thread (one-thread-per-client, the paper's shape).
+    let served = Arc::new(Sema::new(0, SyncType::DEFAULT));
+    let s = Arc::clone(&served);
+    let acceptor = ThreadBuilder::new()
+        .flags(CreateFlags::WAIT)
+        .spawn(move || {
+            for _ in 0..CLIENTS {
+                let conn = sunmt_io::accept(listener).expect("accept");
+                let done = Arc::clone(&s);
+                ThreadBuilder::new()
+                    .spawn(move || {
+                        let mut buf = [0u8; 128];
+                        loop {
+                            let n = sunmt_io::read(conn, &mut buf).expect("server read");
+                            if n == 0 {
+                                break; // client hung up
+                            }
+                            sunmt_io::write_all(conn, &buf[..n]).expect("server echo");
+                        }
+                        sunmt_io::close(conn).expect("close conn");
+                        done.v();
+                    })
+                    .expect("spawn per-client thread");
+            }
+        })
+        .expect("spawn acceptor");
+
+    // Clients: plain host threads (no library identity) talking over the
+    // same API — they take the blocking `poll` fall-through path.
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let c = sunmt_io::connect_loopback(port).expect("connect");
+                for round in 0..ROUNDS {
+                    let msg = format!("client {i} round {round}");
+                    sunmt_io::write_all(c, msg.as_bytes()).expect("client write");
+                    let mut buf = [0u8; 128];
+                    let mut got = 0;
+                    while got < msg.len() {
+                        got += sunmt_io::read(c, &mut buf[got..msg.len()]).expect("client read");
+                    }
+                    assert_eq!(&buf[..got], msg.as_bytes(), "echo mismatch");
+                    // Mostly idle: think-time between requests.
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                sunmt_io::close(c).expect("close client");
+            })
+        })
+        .collect();
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    for _ in 0..CLIENTS {
+        served.p(); // every per-client server thread saw EOF and finished
+    }
+    threads::wait(Some(acceptor)).expect("join acceptor");
+    sunmt_io::close(listener).expect("close listener");
+
+    let io = sunmt_io::stats();
+    let sched = threads::stats();
+    println!(
+        "served {CLIENTS} clients x {ROUNDS} rounds on a {}-LWP pool \
+         (poller: {} registrations, {} parks, {} unparks; pool grows: {})",
+        sched.pool_lwps,
+        io.registrations,
+        io.parks,
+        io.unparks,
+        sched.pool_grows - grows_setup
+    );
+}

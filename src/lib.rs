@@ -9,6 +9,7 @@
 //! |---|---|---|
 //! | [`threads`] | `sunmt` | user-level threads on LWPs (the contribution) |
 //! | [`sync`] | `sunmt-sync` | mutex / condvar / semaphore / rwlock variables |
+//! | [`io`] | `sunmt-io` | thread-aware blocking I/O (poller LWP) |
 //! | [`lwp`] | `sunmt-lwp` | kernel-supported threads of control |
 //! | [`context`] | `sunmt-context` | register context switch + stacks |
 //! | [`shm`] | `sunmt-shm` | sync variables in `MAP_SHARED` files |
@@ -44,6 +45,11 @@ pub mod threads {
 /// Synchronization variables (`sunmt-sync`).
 pub mod sync {
     pub use sunmt_sync::*;
+}
+
+/// Thread-aware blocking I/O (`sunmt-io`).
+pub mod io {
+    pub use sunmt_io::*;
 }
 
 /// Lightweight processes (`sunmt-lwp`).

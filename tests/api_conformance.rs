@@ -207,3 +207,89 @@ fn waitid_style_any_wait() {
     );
     let _ = id;
 }
+
+#[test]
+fn cv_timedwait_by_paper_name() {
+    // Kernel-futex path: the caller here is a bound (adopted host) thread.
+    let m = Mutex::new(SyncType::DEFAULT);
+    let cv = Condvar::new(SyncType::DEFAULT);
+    let t0 = std::time::Instant::now();
+    mutex_enter(&m);
+    let signaled = cv_timedwait(&cv, &m, std::time::Duration::from_millis(30));
+    mutex_exit(&m);
+    assert!(
+        !signaled,
+        "nobody signaled; cv_timedwait must report timeout"
+    );
+    assert!(
+        t0.elapsed() >= std::time::Duration::from_millis(25),
+        "returned after {:?}",
+        t0.elapsed()
+    );
+
+    // User-level sleep-queue path: an *unbound* thread times out on the
+    // timer LWP, then is signaled on a second wait and reports it.
+    let state = Arc::new((
+        Mutex::new(SyncType::DEFAULT),
+        Condvar::new(SyncType::DEFAULT),
+        AtomicU32::new(0),
+    ));
+    let s = Arc::clone(&state);
+    let id = thread_create(CreateFlags::WAIT, move || {
+        let (m, cv, outcome) = &*s;
+        mutex_enter(m);
+        let first = cv_timedwait(cv, m, std::time::Duration::from_millis(20));
+        outcome.store(1 + u32::from(first), Ordering::SeqCst);
+        let second = cv_timedwait(cv, m, std::time::Duration::from_secs(10));
+        mutex_exit(m);
+        outcome.store(10 + u32::from(second), Ordering::SeqCst);
+    })
+    .expect("thread_create");
+    // Wait until the thread has recorded its (un-signaled) timeout...
+    while state.2.load(Ordering::SeqCst) != 1 {
+        std::thread::yield_now();
+    }
+    // ...then signal its second, long wait.
+    mutex_enter(&state.0);
+    cv_signal(&state.1);
+    mutex_exit(&state.0);
+    thread_wait(Some(id)).expect("thread_wait");
+    assert_eq!(
+        state.2.load(Ordering::SeqCst),
+        11,
+        "the signaled cv_timedwait must return true"
+    );
+}
+
+#[test]
+fn sema_timedp_by_paper_name() {
+    // Timeout on an empty semaphore (bound caller, kernel-futex path)...
+    let s = Sema::new(0, SyncType::DEFAULT);
+    assert!(!sema_timedp(&s, std::time::Duration::from_millis(20)));
+    // ...must not have consumed anything: a V still satisfies a P.
+    sema_v(&s);
+    assert!(sema_timedp(&s, std::time::Duration::from_millis(20)));
+
+    // Unbound caller: timeout comes from the sleep-queue timer; a V from
+    // outside wakes the second, long wait.
+    let pair = Arc::new((Sema::new(0, SyncType::DEFAULT), AtomicU32::new(0)));
+    let p = Arc::clone(&pair);
+    let id = thread_create(CreateFlags::WAIT, move || {
+        let (sem, outcome) = &*p;
+        let first = sema_timedp(sem, std::time::Duration::from_millis(20));
+        outcome.store(1 + u32::from(first), Ordering::SeqCst);
+        let second = sema_timedp(sem, std::time::Duration::from_secs(10));
+        outcome.store(10 + u32::from(second), Ordering::SeqCst);
+    })
+    .expect("thread_create");
+    while pair.1.load(Ordering::SeqCst) != 1 {
+        std::thread::yield_now();
+    }
+    sema_v(&pair.0);
+    thread_wait(Some(id)).expect("thread_wait");
+    assert_eq!(
+        pair.1.load(Ordering::SeqCst),
+        11,
+        "the V-satisfied sema_timedp must return true"
+    );
+}

@@ -1,0 +1,135 @@
+//! ABL-IO acceptance: thread-aware blocking I/O keeps the window-server
+//! workload on a tiny LWP pool.
+//!
+//! With a pool pinned at 2 LWPs and 64 unbound threads all "blocked" in
+//! `sunmt_io::read` on idle pipes, every thread must be parked on the
+//! user-level sleep queue (not on an LWP), no `SIGWAITING` pool growth may
+//! occur, and all 64 must complete once data arrives. The LWP-economy
+//! claim is then re-measured with the shared ABL-IO runner and checked
+//! against the committed `BENCH_io.json` trajectory file.
+//!
+//! Everything lives in ONE `#[test]`: the assertions are about
+//! process-wide pool accounting, which concurrent sibling tests in the
+//! same binary would perturb.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sunmt_bench::io_bench;
+use sunos_mt::io as sunmt_io;
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder};
+
+const READERS: usize = 64;
+
+#[test]
+fn parked_io_waiters_do_not_grow_the_pool_and_all_complete() {
+    threads::init();
+    threads::set_concurrency(2).expect("pin the pool at 2 LWPs");
+
+    // --- Phase 1: 64 unbound threads block reading idle pipes. ---------
+    let pipes: Vec<(i32, i32)> = (0..READERS)
+        .map(|_| sunmt_io::pipe().expect("pipe"))
+        .collect();
+    let grows_before = threads::stats().pool_grows;
+    let done = Arc::new(AtomicUsize::new(0));
+
+    let ids: Vec<_> = pipes
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, _))| {
+            let done = Arc::clone(&done);
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    let mut buf = [0u8; 8];
+                    let n = sunmt_io::read(r, &mut buf).expect("reader");
+                    assert_eq!(n, 1, "reader {i} got {n} bytes");
+                    assert_eq!(buf[0], (i % 251) as u8, "reader {i} got wrong byte");
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .expect("spawn reader")
+        })
+        .collect();
+
+    // All 64 must end up *sleeping at user level* — i.e. parked through the
+    // poller, their LWPs free — not blocked in the kernel.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = threads::stats();
+        if s.sleeping >= READERS {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {READERS} I/O waiters reached the sleep queue \
+             (runnable={}, pool={})",
+            s.sleeping,
+            s.runnable,
+            s.pool_lwps
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Idle I/O waiters must not look like a deadlock: no SIGWAITING growth.
+    let s = threads::stats();
+    assert_eq!(
+        s.pool_grows, grows_before,
+        "parked I/O waiters triggered pool growth"
+    );
+    assert_eq!(s.pool_lwps, 2, "the pool must still be pinned at 2 LWPs");
+    assert!(
+        sunmt_io::stats().pending_waiters >= READERS,
+        "the poller must be holding all {READERS} waiters"
+    );
+
+    // Data arrives; every thread must complete.
+    for (i, &(_, w)) in pipes.iter().enumerate() {
+        sunmt_io::write_all(w, &[(i % 251) as u8]).expect("writer");
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("join reader");
+    }
+    assert_eq!(done.load(Ordering::SeqCst), READERS);
+    for &(r, w) in &pipes {
+        let _ = sunmt_io::close(r);
+        let _ = sunmt_io::close(w);
+    }
+
+    // --- Phase 2: the ABL-IO economy claim, re-measured. ---------------
+    let (mn, bound) = io_bench::run_abl_io(16, 3);
+    assert!(
+        mn.lwps_peak < bound.lwps_peak,
+        "M:N must use strictly fewer LWPs than one-per-client \
+         (mn {} vs bound {})",
+        mn.lwps_peak,
+        bound.lwps_peak
+    );
+    assert_eq!(mn.pool_grows, 0, "M:N phase must not grow the pool");
+
+    // --- Phase 3: the committed trajectory file agrees. ----------------
+    let json = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_io.json"))
+        .expect(
+        "BENCH_io.json must be committed (cargo run --bin abl_io_server -- --json BENCH_io.json)",
+    );
+    let (mn_lwps, bound_lwps) =
+        parse_lwp_note(&json).expect("BENCH_io.json must carry a 'mn_lwps=A bound_lwps=B' note");
+    assert!(
+        mn_lwps < bound_lwps,
+        "committed BENCH_io.json must show M:N using strictly fewer LWPs \
+         (mn_lwps={mn_lwps} bound_lwps={bound_lwps})"
+    );
+}
+
+/// Extracts `(A, B)` from the `mn_lwps=A bound_lwps=B ...` note.
+fn parse_lwp_note(json: &str) -> Option<(usize, usize)> {
+    let grab = |key: &str| -> Option<usize> {
+        let at = json.find(key)? + key.len();
+        let digits: String = json[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    };
+    Some((grab("mn_lwps=")?, grab("bound_lwps=")?))
+}

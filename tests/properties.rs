@@ -271,3 +271,140 @@ fn mn_package_completes_all_threads() {
         assert_eq!(h.metrics().threads_done, n, "case {case}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Contended downgrade/upgrade: 4 host threads hammer one RwLock with
+// randomized enter / try_upgrade / downgrade sequences. Occupancy
+// counters (maintained only while holding the lock) must always satisfy
+// writer-exclusivity: a writer sees no readers and no other writer; a
+// reader sees no writer. Both the default (process-private futex) and
+// SYNC_SHARED (cross-process futex scope) variants are exercised.
+
+#[test]
+fn rwlock_downgrade_upgrade_under_contention() {
+    for (variant, kind) in [("DEFAULT", SyncType::DEFAULT), ("SHARED", SyncType::SHARED)] {
+        let base_seed: u64 = 0xD06_u64 ^ (variant.len() as u64);
+        contended_rwlock_case(variant, kind, base_seed);
+    }
+}
+
+fn contended_rwlock_case(variant: &'static str, kind: SyncType, base_seed: u64) {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const OPS: usize = 400;
+
+    let lock = Arc::new(RwLock::new(kind));
+    let readers = Arc::new(AtomicU32::new(0));
+    let writers = Arc::new(AtomicU32::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let lock = Arc::clone(&lock);
+            let readers = Arc::clone(&readers);
+            let writers = Arc::clone(&writers);
+            std::thread::spawn(move || {
+                let seed = base_seed.wrapping_add(tid as u64);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let ctx = move || format!("[{variant} seed={seed:#x} thread={tid}]");
+                let check_writer = |site: &str| {
+                    assert_eq!(
+                        writers.load(Ordering::SeqCst),
+                        1,
+                        "{} {site}: another writer inside",
+                        ctx()
+                    );
+                    assert_eq!(
+                        readers.load(Ordering::SeqCst),
+                        0,
+                        "{} {site}: reader inside a write section",
+                        ctx()
+                    );
+                };
+                for _ in 0..OPS {
+                    if rng.gen_bool(0.5) {
+                        // Reader path, with a chance to try upgrading.
+                        lock.enter(RwType::Reader);
+                        readers.fetch_add(1, Ordering::SeqCst);
+                        assert_eq!(
+                            writers.load(Ordering::SeqCst),
+                            0,
+                            "{} read: writer inside",
+                            ctx()
+                        );
+                        if rng.gen_bool(0.4) && {
+                            readers.fetch_sub(1, Ordering::SeqCst);
+                            let up = lock.try_upgrade();
+                            if !up {
+                                readers.fetch_add(1, Ordering::SeqCst);
+                            }
+                            up
+                        } {
+                            writers.fetch_add(1, Ordering::SeqCst);
+                            check_writer("upgraded");
+                            if rng.gen_bool(0.5) {
+                                // Downgrade back to reader before leaving.
+                                writers.fetch_sub(1, Ordering::SeqCst);
+                                readers.fetch_add(1, Ordering::SeqCst);
+                                lock.downgrade();
+                                assert_eq!(
+                                    writers.load(Ordering::SeqCst),
+                                    0,
+                                    "{} downgraded: writer inside",
+                                    ctx()
+                                );
+                                readers.fetch_sub(1, Ordering::SeqCst);
+                            } else {
+                                writers.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        } else {
+                            readers.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        lock.exit();
+                    } else {
+                        // Writer path, with a chance to downgrade.
+                        lock.enter(RwType::Writer);
+                        writers.fetch_add(1, Ordering::SeqCst);
+                        check_writer("write");
+                        if rng.gen_bool(0.5) {
+                            writers.fetch_sub(1, Ordering::SeqCst);
+                            readers.fetch_add(1, Ordering::SeqCst);
+                            lock.downgrade();
+                            assert_eq!(
+                                writers.load(Ordering::SeqCst),
+                                0,
+                                "{} downgraded: writer inside",
+                                ctx()
+                            );
+                            readers.fetch_sub(1, Ordering::SeqCst);
+                        } else {
+                            writers.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        lock.exit();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap_or_else(|_| {
+            panic!("[{variant} base_seed={base_seed:#x}] a property thread panicked")
+        });
+    }
+    assert_eq!(
+        readers.load(Ordering::SeqCst),
+        0,
+        "[{variant}] readers leaked"
+    );
+    assert_eq!(
+        writers.load(Ordering::SeqCst),
+        0,
+        "[{variant}] writers leaked"
+    );
+    let (w, r) = lock.holders();
+    assert!(
+        !w && r == 0,
+        "[{variant}] lock must end free (writer={w}, readers={r})"
+    );
+}
