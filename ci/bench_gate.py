@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""CI gate on the ABL-IO LWP-multiplexing ratio.
+
+Compares a freshly generated BENCH_io.json against the committed one and
+fails if `lwp_ratio` (bound LWPs / M:N LWPs in the window-server
+workload — the paper's headline "fewer kernel resources" claim)
+regresses below the committed value. The ratio is structural (it counts
+LWPs, not time), so it is deterministic and gated exactly, with no noise
+tolerance.
+
+Usage: ci/bench_gate.py <committed BENCH_io.json> <fresh json>
+"""
+
+import json
+import re
+import sys
+
+
+def lwp_ratio(path):
+    with open(path) as f:
+        notes = " ".join(json.load(f)["notes"])
+    m = re.search(r"lwp_ratio=([0-9.]+)", notes)
+    if not m:
+        sys.exit(f"{path}: no lwp_ratio in notes: {notes!r}")
+    return float(m.group(1))
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    committed_path, fresh_path = sys.argv[1], sys.argv[2]
+    committed = lwp_ratio(committed_path)
+    fresh = lwp_ratio(fresh_path)
+    print(f"lwp_ratio: committed={committed:.2f} fresh={fresh:.2f}")
+    if fresh < committed:
+        sys.exit(
+            f"REGRESSION: lwp_ratio fell from {committed:.2f} to {fresh:.2f} "
+            f"— the M:N pool is using more LWPs relative to bound threads"
+        )
+    print("bench gate OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+//! CHECK — throughput of the schedule-exploration checker.
+//!
+//! Times the bounded exhaustive sweep over the headline sync-variable
+//! models and a fixed-seed PCT fuzz pass, so the perf trajectory of the
+//! checker itself is tracked alongside the paper figures. Rows are the
+//! wall-clock time of each sweep; the notes record the schedule counts
+//! the sweeps covered (the acceptance floor is >1k distinct schedules
+//! for the 2-thread mutex and cv models) and the aggregate
+//! schedules-per-second rate.
+//!
+//! `--smoke` shrinks the fuzz budget for CI; `--json PATH` writes the
+//! machine-readable table (committed as `BENCH_check.json`).
+
+use sunmt_bench::PaperTable;
+use sunmt_check::{explore, fuzz, models, ExploreConfig, FuzzConfig, Variant};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let fuzz_iters = if smoke { 200 } else { 2_000 };
+    let catalogue = models::catalogue();
+    let mut t = PaperTable::new("Model checking: exhaustive sweep + seeded fuzz wall-clock");
+
+    let mut total_schedules = 0u64;
+    let mut total_secs = 0f64;
+    for name in ["mutex_basic", "cv_pingpong", "sema_handoff", "rw_basic"] {
+        let model = catalogue
+            .iter()
+            .find(|m| m.name == name)
+            .expect("model in catalogue");
+        let cfg = ExploreConfig {
+            preemption_bound: model.preemption_bound,
+            ..ExploreConfig::default()
+        };
+        let mut rep = None;
+        let dt = sunmt_bench::time_once(|| rep = Some(explore(model, Variant::Default, &cfg)));
+        let rep = rep.expect("sweep ran");
+        assert_eq!(rep.failed_runs, 0, "{name}: positive model must pass");
+        assert!(
+            rep.schedules >= model.min_schedules,
+            "{name}: only {} schedules, model promises >= {}",
+            rep.schedules,
+            model.min_schedules
+        );
+        total_schedules += rep.schedules;
+        total_secs += dt.as_secs_f64();
+        t.row(format!("exhaustive {name}"), dt.as_secs_f64() * 1e6);
+        t.note(format!("{name}: schedules={}", rep.schedules));
+    }
+
+    let model = catalogue
+        .iter()
+        .find(|m| m.name == "mutex_basic")
+        .expect("mutex_basic in catalogue");
+    let cfg = FuzzConfig {
+        iters: fuzz_iters,
+        ..FuzzConfig::default()
+    };
+    let dt = sunmt_bench::time_once(|| {
+        let rep = fuzz(model, Variant::Default, &cfg);
+        assert_eq!(rep.failed_runs, 0, "mutex_basic: fuzz must pass");
+        total_schedules += rep.schedules;
+    });
+    total_secs += dt.as_secs_f64();
+    t.row("fuzz mutex_basic (PCT)", dt.as_secs_f64() * 1e6);
+    t.note(format!("fuzz_iters={fuzz_iters} seed={:#x}", cfg.seed));
+    t.note(format!(
+        "total_schedules={} schedules_per_sec={:.0}",
+        total_schedules,
+        total_schedules as f64 / total_secs.max(1e-9)
+    ));
+    t.print();
+    if let Err(e) = t.write_json_if_requested("check_explore", std::env::args()) {
+        eprintln!("check_explore: {e}");
+        std::process::exit(2);
+    }
+    println!("shape check: OK (all positive sweeps pass, schedule floors hold)");
+}

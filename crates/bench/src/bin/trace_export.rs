@@ -1,0 +1,75 @@
+//! TRACE — produces the trace artifacts CI uploads: runs a short
+//! mutex/cv workload on the real threads library with per-LWP tracing
+//! enabled, then writes the merged timeline as both the human-readable
+//! dump and the Chrome `trace_event` export.
+//!
+//! Usage: `trace_export [--chrome PATH] [--text PATH]` (defaults
+//! `trace.chrome.json` / `trace.tnf.txt`, both gitignored).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use sunmt::trace;
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_sync::{Condvar, Mutex, SyncType};
+
+const THREADS: usize = 4;
+const ROUNDS: usize = 50;
+
+fn main() {
+    sunmt::init();
+    let mut chrome_path = "trace.chrome.json".to_string();
+    let mut text_path = "trace.tnf.txt".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome_path = it.next().expect("--chrome needs a path"),
+            "--text" => text_path = it.next().expect("--text needs a path"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    trace::enable();
+    // A contended turn-taking loop: every round crosses the mutex slow
+    // path and the cv sleep queue, so the trace shows the full
+    // block/wakeup vocabulary, not just dispatches.
+    let m = Arc::new(Mutex::new(SyncType::DEFAULT));
+    let cv = Arc::new(Condvar::new(SyncType::DEFAULT));
+    let turn = Arc::new(AtomicUsize::new(0));
+    let mut joins = Vec::new();
+    for i in 0..THREADS {
+        let (m, cv, turn) = (Arc::clone(&m), Arc::clone(&cv), Arc::clone(&turn));
+        joins.push(
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    for _ in 0..ROUNDS {
+                        m.enter();
+                        while turn.load(Ordering::Relaxed) % THREADS != i {
+                            cv.wait(&m);
+                        }
+                        turn.fetch_add(1, Ordering::Relaxed);
+                        cv.broadcast();
+                        m.exit();
+                    }
+                })
+                .expect("spawn"),
+        );
+    }
+    for j in joins {
+        sunmt::wait(Some(j)).expect("wait");
+    }
+    let events = trace::drain();
+    trace::disable();
+
+    assert!(!events.is_empty(), "tracing produced no events");
+    std::fs::write(&chrome_path, trace::export_chrome(&events)).expect("write chrome export");
+    std::fs::write(&text_path, trace::render(&events)).expect("write text dump");
+    println!(
+        "wrote {chrome_path} and {text_path} ({} events from {THREADS} threads x {ROUNDS} rounds)",
+        events.len()
+    );
+}

@@ -1,0 +1,253 @@
+//! A lockdep-style lock-order graph.
+//!
+//! Built from the shared `sunmt-trace` acquire/release tag vocabulary
+//! (`MutexAcquire`/`MutexRelease`, `RwAcquire`/`RwRelease`), so it works
+//! identically on model-checker event logs and on anything else that
+//! speaks those tags. Whenever a thread acquires lock B while holding
+//! lock A, the edge A→B is recorded; a cycle in the aggregated graph
+//! means two runs (or two threads) order the same locks differently — a
+//! potential deadlock, reported even when no explored schedule actually
+//! deadlocked. This is the Linux lockdep idea: one good run is enough to
+//! convict the ordering.
+
+use std::collections::BTreeSet;
+
+use crate::model::Event;
+use sunmt_trace::Tag;
+
+/// A lock identity in the graph: mutexes and rwlocks live in separate
+/// namespaces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LockId {
+    /// A modelled mutex.
+    Mutex(u64),
+    /// A modelled readers/writer lock.
+    Rw(u64),
+}
+
+impl LockId {
+    /// Short display name (`mutex3`, `rw0`).
+    pub fn name(&self) -> String {
+        match self {
+            LockId::Mutex(i) => format!("mutex{i}"),
+            LockId::Rw(i) => format!("rw{i}"),
+        }
+    }
+}
+
+/// The aggregated held-before relation.
+#[derive(Default)]
+pub struct LockGraph {
+    edges: BTreeSet<(LockId, LockId)>,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> LockGraph {
+        LockGraph::default()
+    }
+
+    /// Number of distinct held→acquired edges observed.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Folds one run's event log into the graph. Held sets are tracked
+    /// per thread from the acquire/release tags; re-acquisitions by
+    /// downgrade (`RwAcquire` with `b == 2`) replace an existing hold and
+    /// add no edge.
+    pub fn ingest(&mut self, events: &[Event]) {
+        let nthreads = events.iter().map(|e| e.thread + 1).max().unwrap_or(0);
+        let mut held: Vec<Vec<LockId>> = vec![Vec::new(); nthreads];
+        for e in events {
+            let h = &mut held[e.thread];
+            match e.tag {
+                Tag::MutexAcquire => {
+                    let l = LockId::Mutex(e.a);
+                    for prior in h.iter() {
+                        self.edges.insert((*prior, l));
+                    }
+                    h.push(l);
+                }
+                Tag::MutexRelease => {
+                    let l = LockId::Mutex(e.a);
+                    if let Some(i) = h.iter().rposition(|x| *x == l) {
+                        h.remove(i);
+                    }
+                }
+                Tag::RwAcquire => {
+                    let l = LockId::Rw(e.a);
+                    if h.contains(&l) {
+                        // Downgrade/upgrade of a lock already held: the
+                        // ordering constraint was recorded at first
+                        // acquisition.
+                        continue;
+                    }
+                    for prior in h.iter() {
+                        self.edges.insert((*prior, l));
+                    }
+                    h.push(l);
+                }
+                Tag::RwRelease => {
+                    let l = LockId::Rw(e.a);
+                    if let Some(i) = h.iter().rposition(|x| *x == l) {
+                        h.remove(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Finds a lock-order cycle, if any, as the list of locks along it
+    /// (first lock repeated at the end). Deterministic: the smallest
+    /// cycle-starting lock in `LockId` order is reported.
+    pub fn find_cycle(&self) -> Option<Vec<LockId>> {
+        let nodes: BTreeSet<LockId> = self.edges.iter().flat_map(|(a, b)| [*a, *b]).collect();
+        for start in &nodes {
+            if let Some(mut path) = self.dfs_back_to(*start, *start, &mut vec![*start]) {
+                path.push(*start);
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    fn dfs_back_to(
+        &self,
+        here: LockId,
+        target: LockId,
+        path: &mut Vec<LockId>,
+    ) -> Option<Vec<LockId>> {
+        for (a, b) in &self.edges {
+            if *a != here {
+                continue;
+            }
+            if *b == target {
+                return Some(path.clone());
+            }
+            if path.contains(b) {
+                continue;
+            }
+            path.push(*b);
+            if let Some(found) = self.dfs_back_to(*b, target, path) {
+                return Some(found);
+            }
+            path.pop();
+        }
+        None
+    }
+
+    /// Human-readable cycle description, if a cycle exists.
+    pub fn cycle_description(&self) -> Option<String> {
+        self.find_cycle().map(|cycle| {
+            let names: Vec<String> = cycle.iter().map(LockId::name).collect();
+            format!("lock-order cycle: {}", names.join(" -> "))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: usize, tag: Tag, a: u64) -> Event {
+        Event {
+            thread,
+            tag,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn consistent_ordering_has_no_cycle() {
+        let mut g = LockGraph::new();
+        // Both threads take mutex0 then mutex1.
+        g.ingest(&[
+            ev(0, Tag::MutexAcquire, 0),
+            ev(0, Tag::MutexAcquire, 1),
+            ev(0, Tag::MutexRelease, 1),
+            ev(0, Tag::MutexRelease, 0),
+            ev(1, Tag::MutexAcquire, 0),
+            ev(1, Tag::MutexAcquire, 1),
+            ev(1, Tag::MutexRelease, 1),
+            ev(1, Tag::MutexRelease, 0),
+        ]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn ab_ba_ordering_is_a_cycle_even_without_a_deadlocked_run() {
+        let mut g = LockGraph::new();
+        // One clean run each way: no deadlock happened, but the orderings
+        // conflict.
+        g.ingest(&[
+            ev(0, Tag::MutexAcquire, 0),
+            ev(0, Tag::MutexAcquire, 1),
+            ev(0, Tag::MutexRelease, 1),
+            ev(0, Tag::MutexRelease, 0),
+        ]);
+        g.ingest(&[
+            ev(1, Tag::MutexAcquire, 1),
+            ev(1, Tag::MutexAcquire, 0),
+            ev(1, Tag::MutexRelease, 0),
+            ev(1, Tag::MutexRelease, 1),
+        ]);
+        let desc = g.cycle_description().expect("AB-BA must cycle");
+        assert!(desc.contains("mutex0") && desc.contains("mutex1"), "{desc}");
+    }
+
+    #[test]
+    fn mixed_mutex_rw_cycles_are_found() {
+        let mut g = LockGraph::new();
+        g.ingest(&[
+            ev(0, Tag::MutexAcquire, 0),
+            ev(0, Tag::RwAcquire, 0),
+            ev(0, Tag::RwRelease, 0),
+            ev(0, Tag::MutexRelease, 0),
+        ]);
+        assert!(g.find_cycle().is_none());
+        g.ingest(&[
+            ev(1, Tag::RwAcquire, 0),
+            ev(1, Tag::MutexAcquire, 0),
+            ev(1, Tag::MutexRelease, 0),
+            ev(1, Tag::RwRelease, 0),
+        ]);
+        assert!(g.cycle_description().is_some());
+    }
+
+    #[test]
+    fn downgrade_does_not_self_edge() {
+        let mut g = LockGraph::new();
+        g.ingest(&[
+            Event {
+                thread: 0,
+                tag: Tag::RwAcquire,
+                a: 0,
+                b: 1,
+            },
+            Event {
+                thread: 0,
+                tag: Tag::RwRelease,
+                a: 0,
+                b: 1,
+            },
+            Event {
+                thread: 0,
+                tag: Tag::RwAcquire,
+                a: 0,
+                b: 2,
+            },
+            Event {
+                thread: 0,
+                tag: Tag::RwRelease,
+                a: 0,
+                b: 0,
+            },
+        ]);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.find_cycle().is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! The `sunmt-check` command-line driver.
+//!
+//! ```text
+//! sunmt-check [run] [--model NAME] [--variant default|debug|shared|all]
+//!             [--preemption-bound N] [--max-schedules N]
+//!             [--fuzz-iters N] [--seed N]
+//! sunmt-check list
+//! sunmt-check replay <schedule-string>
+//! ```
+//!
+//! `run` sweeps every selected model × variant with the bounded
+//! exhaustive explorer plus a seeded PCT fuzz budget, checks each model's
+//! expectation (positive models must pass every schedule *and* keep an
+//! acyclic lock-order graph; negative models must yield their seeded
+//! bug), and exits non-zero on any violation — printing the offending
+//! schedule as a `FAILING SCHEDULE: v1/...` line that `replay` (or the
+//! regression corpus in `tests/check_regressions.rs`) reproduces
+//! deterministically.
+
+use std::process::ExitCode;
+
+use sunmt_check::{
+    explore, fuzz, models, replay, Expect, ExploreConfig, FuzzConfig, Model, ScheduleString,
+    Variant,
+};
+
+struct Args {
+    cmd: String,
+    model: Option<String>,
+    variant: Option<Variant>,
+    preemption_bound: Option<u32>,
+    max_schedules: u64,
+    fuzz_iters: u64,
+    seed: u64,
+    schedule: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sunmt-check [run] [--model NAME] [--variant default|debug|shared|all]\n\
+         \x20                  [--preemption-bound N] [--max-schedules N]\n\
+         \x20                  [--fuzz-iters N] [--seed N]\n\
+         \x20      sunmt-check list\n\
+         \x20      sunmt-check replay <schedule-string>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cmd: "run".to_string(),
+        model: None,
+        variant: None,
+        preemption_bound: None,
+        max_schedules: ExploreConfig::default().max_schedules,
+        fuzz_iters: FuzzConfig::default().iters,
+        seed: FuzzConfig::default().seed,
+        schedule: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    if let Some(first) = it.peek() {
+        if !first.starts_with("--") {
+            args.cmd = it.next().unwrap();
+        }
+    }
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => args.model = Some(value(&mut it, "--model")),
+            "--variant" => {
+                let v = value(&mut it, "--variant");
+                if v != "all" {
+                    match Variant::parse(&v) {
+                        Some(v) => args.variant = Some(v),
+                        None => {
+                            eprintln!("unknown variant {v:?}");
+                            usage()
+                        }
+                    }
+                }
+            }
+            "--preemption-bound" => {
+                args.preemption_bound = Some(parse_num(&value(&mut it, "--preemption-bound")))
+            }
+            "--max-schedules" => args.max_schedules = parse_num(&value(&mut it, "--max-schedules")),
+            "--fuzz-iters" => args.fuzz_iters = parse_num(&value(&mut it, "--fuzz-iters")),
+            "--seed" => args.seed = parse_num(&value(&mut it, "--seed")),
+            other if args.cmd == "replay" && args.schedule.is_none() => {
+                args.schedule = Some(other.to_string())
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let catalogue = models::catalogue();
+    match args.cmd.as_str() {
+        "list" => {
+            for m in &catalogue {
+                let variants: Vec<&str> = m.variants.iter().map(|v| v.name()).collect();
+                println!(
+                    "{:24} threads={} variants={:28} {}",
+                    m.name,
+                    m.threads.len(),
+                    variants.join(","),
+                    m.about
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "replay" => {
+            let Some(s) = &args.schedule else { usage() };
+            cmd_replay(&catalogue, s)
+        }
+        "run" => cmd_run(&catalogue, &args),
+        _ => usage(),
+    }
+}
+
+fn cmd_replay(catalogue: &[Model], s: &str) -> ExitCode {
+    let sched = match ScheduleString::parse(s) {
+        Ok(sched) => sched,
+        Err(e) => {
+            eprintln!("bad schedule string: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match replay(catalogue, &sched) {
+        Ok(out) => {
+            println!("replayed {sched}: {} choice points", out.points.len());
+            for e in &out.events {
+                println!(
+                    "  thread {} {:14} a={} b={}",
+                    e.thread,
+                    e.tag.name(),
+                    e.a,
+                    e.b
+                );
+            }
+            match out.failure {
+                Some(msg) => println!("outcome: FAIL — {msg}"),
+                None => println!("outcome: pass"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot replay: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_run(catalogue: &[Model], args: &Args) -> ExitCode {
+    let mut bad = false;
+    let mut total_schedules = 0u64;
+    let mut ran_any = false;
+    for model in catalogue {
+        if args.model.as_deref().is_some_and(|want| want != model.name) {
+            continue;
+        }
+        for variant in Variant::ALL {
+            if !model.has_variant(variant) {
+                continue;
+            }
+            if args.variant.is_some_and(|want| want != variant) {
+                continue;
+            }
+            ran_any = true;
+            let cfg = ExploreConfig {
+                preemption_bound: args.preemption_bound.or(model.preemption_bound),
+                max_schedules: args.max_schedules,
+            };
+            let ex = explore(model, variant, &cfg);
+            let fz = fuzz(
+                model,
+                variant,
+                &FuzzConfig {
+                    seed: args.seed,
+                    iters: args.fuzz_iters,
+                },
+            );
+            total_schedules += ex.schedules + fz.schedules;
+            let mut lockdep = ex.lockdep;
+            for e in &fz.failures {
+                // Fuzz failures are already replayable; the graphs merge
+                // by re-ingesting the replayed runs' events.
+                if let Ok(out) = replay(std::slice::from_ref(model), &e.schedule) {
+                    lockdep.ingest(&out.events);
+                }
+            }
+            let cycle = lockdep.cycle_description();
+            println!(
+                "{}/{}: schedules={}{} fuzz={} failed={} lockdep-edges={}{}",
+                model.name,
+                variant.name(),
+                ex.schedules,
+                if ex.capped { " (capped)" } else { "" },
+                fz.schedules,
+                ex.failed_runs + fz.failed_runs,
+                lockdep.edge_count(),
+                match &cycle {
+                    Some(c) => format!(" [{c}]"),
+                    None => String::new(),
+                },
+            );
+            let failures: Vec<_> = ex.failures.iter().chain(fz.failures.iter()).collect();
+            match model.expect {
+                Expect::Pass => {
+                    for f in &failures {
+                        bad = true;
+                        println!("  UNEXPECTED: {}", f.message);
+                        println!("  FAILING SCHEDULE: {}", f.schedule);
+                    }
+                    if let Some(c) = &cycle {
+                        bad = true;
+                        println!("  UNEXPECTED: {c}");
+                    }
+                    if !ex.capped && ex.schedules < model.min_schedules {
+                        bad = true;
+                        println!(
+                            "  UNEXPECTED: only {} schedules explored, model promises >= {}",
+                            ex.schedules, model.min_schedules
+                        );
+                    }
+                }
+                Expect::FailContaining(needle) => {
+                    match failures.iter().find(|f| f.message.contains(needle)) {
+                        Some(f) => {
+                            println!("  found seeded bug: {}", f.message);
+                            println!("  example schedule: {}", f.schedule);
+                        }
+                        None => {
+                            bad = true;
+                            println!(
+                                "  MISSED: no failure containing {needle:?} in {} schedules",
+                                ex.schedules + fz.schedules
+                            );
+                        }
+                    }
+                    if needle == "deadlock" && cycle.is_none() {
+                        bad = true;
+                        println!("  MISSED: lockdep found no lock-order cycle");
+                    }
+                }
+            }
+        }
+    }
+    if !ran_any {
+        eprintln!("no model/variant matched the filters");
+        return ExitCode::from(2);
+    }
+    println!(
+        "total: {total_schedules} schedules — {}",
+        if bad { "FAIL" } else { "ok" }
+    );
+    if bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

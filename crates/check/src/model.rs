@@ -1,0 +1,1349 @@
+//! Micro-step models of the sync-variable suite.
+//!
+//! A [`Model`] is a small concurrent program over modelled synchronization
+//! variables — the paper's suite: `mutex_enter/exit/tryenter`,
+//! `cv_wait/timedwait/signal/broadcast`, `sema_p/v`, and
+//! `rw_enter/exit/downgrade/tryupgrade` — executed on the deterministic
+//! simkernel, one LWP per model thread.
+//!
+//! Every [`SyncOp`] decomposes into *micro-steps*, each of which performs
+//! one atomic action on the shared [`World`] state and then yields the
+//! virtual CPU. The races the checker hunts live between those
+//! micro-steps, exactly where the futex-shaped implementation in
+//! `sunmt-sync` has its windows: the read of a lock word, the CAS that
+//! claims it, and the check-then-park of the slow path are separate
+//! schedulable actions. The simkernel's schedule hook (installed by
+//! [`run_model`]) chooses which runnable thread performs the next
+//! micro-step, so the explorer sweeps interleavings at the same
+//! granularity the hardware would.
+//!
+//! Blocking is modelled faithfully: a parking micro-step enqueues the
+//! thread on the variable's wait queue and blocks its LWP in one atomic
+//! action, and a waker *dequeues* the sleeper and redirects its resume
+//! point before issuing the kernel wakeup — so a signal landing between
+//! enqueue and park is consumed, never lost (the `cv_wait` atomicity
+//! guarantee). `cv_timedwait` parks with a virtual-time deadline that
+//! fires only if no wakeup ever arrives, mirroring the timed paths the
+//! `sunmt-io` poller added.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use sunmt_simkernel::lwp::{KernelRequest, LwpProgram, Op};
+use sunmt_simkernel::{SchedClass, SimConfig, SimKernel, SimLwpId};
+use sunmt_trace::Tag;
+
+/// Micro-steps one run may execute before the checker declares a livelock.
+const STEP_BUDGET: u64 = 100_000;
+
+/// Which implementation variant of the suite a run models (the paper's
+/// initialization-time variants: default, `DEBUG`, and `SYNC_SHARED`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Variant {
+    /// The default sleep variant.
+    Default,
+    /// The `DEBUG` variant: ownership is tracked and misuse (recursive
+    /// `mutex_enter`, `mutex_exit` by a non-owner, `rw_exit` without a
+    /// hold, `cv_wait` without the mutex) fails the run instead of
+    /// corrupting state silently.
+    Debug,
+    /// The `SYNC_SHARED` variant: every park/unpark goes through the
+    /// kernel and is visible as `LwpPark`/`LwpUnpark` events, since a
+    /// user-level sleep queue is invisible to other processes.
+    Shared,
+}
+
+impl Variant {
+    /// All variants, in fixed order.
+    pub const ALL: [Variant; 3] = [Variant::Default, Variant::Debug, Variant::Shared];
+
+    /// Short lowercase name (used in schedule strings and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Default => "default",
+            Variant::Debug => "debug",
+            Variant::Shared => "shared",
+        }
+    }
+
+    /// Parses [`Variant::name`] output.
+    pub fn parse(s: &str) -> Option<Variant> {
+        Variant::ALL.iter().copied().find(|v| v.name() == s)
+    }
+}
+
+/// One high-level operation of a model thread's program. Each expands into
+/// one or more micro-steps (see the module docs).
+#[derive(Clone, Debug)]
+pub enum SyncOp {
+    /// `n` steps of non-critical work (each one scheduling point).
+    Work(u32),
+    /// `mutex_enter`: read word, CAS, park-on-contention.
+    MutexEnter(usize),
+    /// `mutex_exit`: release word, then wake one waiter.
+    MutexExit(usize),
+    /// One atomic `mutex_tryenter` attempt; on failure skip the next
+    /// `skip` ops (the critical section it guards).
+    TryenterElseSkip {
+        /// The mutex.
+        mutex: usize,
+        /// Ops to skip when the try fails.
+        skip: usize,
+    },
+    /// A *single* `cv_wait` with no predicate re-check loop — the misuse
+    /// the negative lost-wakeup model needs. Caller must hold `mutex`.
+    CvWaitOnce {
+        /// The condition variable.
+        cv: usize,
+        /// The mutex released while waiting and re-acquired after.
+        mutex: usize,
+    },
+    /// The canonical monitor wait: `while !flag { cv_wait(cv, mutex) }`,
+    /// with the predicate checked under the mutex.
+    WaitUntilFlag {
+        /// Predicate flag.
+        flag: usize,
+        /// The condition variable.
+        cv: usize,
+        /// The mutex held around the predicate.
+        mutex: usize,
+    },
+    /// `while !flag { if cv_timedwait(..) == TIMEOUT { break } }` — each
+    /// wait gives up after `timeout` virtual microseconds.
+    TimedWaitUntilFlag {
+        /// Predicate flag.
+        flag: usize,
+        /// The condition variable.
+        cv: usize,
+        /// The mutex held around the predicate.
+        mutex: usize,
+        /// Virtual-time deadline for each wait.
+        timeout: u64,
+    },
+    /// `cv_signal`: wake one waiter (records whether one was present).
+    CvSignal(usize),
+    /// `cv_broadcast`: wake every waiter.
+    CvBroadcast(usize),
+    /// `sema_p`: decrement or park.
+    SemaP(usize),
+    /// `sema_v`: increment, then wake one waiter.
+    SemaV(usize),
+    /// `rw_enter`: acquire for reading (`write = false`) or writing.
+    RwEnter {
+        /// The readers/writer lock.
+        rw: usize,
+        /// Writer side?
+        write: bool,
+    },
+    /// `rw_exit`: release whichever side the thread holds.
+    RwExit(usize),
+    /// `rw_downgrade`: writer becomes reader without releasing.
+    RwDowngrade(usize),
+    /// `rw_tryupgrade`, falling back to release-and-`rw_enter(write)` when
+    /// the atomic upgrade loses the race.
+    RwTryupgradeOrWrite(usize),
+    /// Non-atomic read-modify-write of a counter (load then store — torn
+    /// by design, so unprotected access is *observable*).
+    Incr(usize),
+    /// Load a counter, yield, and assert it did not move (a reader's
+    /// oracle that no writer interleaved).
+    ReadStable(usize),
+    /// Set a flag (one atomic step).
+    SetFlag(usize),
+    /// If the flag is set, skip the next `skip` ops. Racy by design: the
+    /// check takes no lock (for negative models).
+    SkipIfFlag {
+        /// The flag to test.
+        flag: usize,
+        /// Ops to skip when set.
+        skip: usize,
+    },
+    /// Assert the flag is set (fails the run otherwise).
+    AssertFlag(usize),
+    /// Assert this thread's last timed wait did / did not time out.
+    AssertTimedOut(bool),
+    /// Enter an exclusive critical-section oracle: fails the run if
+    /// another thread is inside the same section.
+    CritEnter(usize),
+    /// Leave the critical-section oracle.
+    CritExit(usize),
+}
+
+/// What the explorer expects from a model.
+#[derive(Clone, Copy, Debug)]
+pub enum Expect {
+    /// Every schedule must pass.
+    Pass,
+    /// At least one schedule must fail with a message containing this
+    /// needle (the model seeds a real bug the checker must find).
+    FailContaining(&'static str),
+}
+
+/// A checkable concurrent program.
+pub struct Model {
+    /// Unique name (used in schedule strings).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// One op-script per thread.
+    pub threads: Vec<Vec<SyncOp>>,
+    /// Number of modelled mutexes.
+    pub mutexes: usize,
+    /// Number of modelled condition variables.
+    pub cvs: usize,
+    /// Initial counts of the modelled semaphores (length = sema count).
+    pub sema_init: Vec<u32>,
+    /// Number of modelled readers/writer locks.
+    pub rws: usize,
+    /// Number of shared counters.
+    pub counters: usize,
+    /// Number of shared flags.
+    pub flags: usize,
+    /// Number of critical-section oracles.
+    pub crits: usize,
+    /// Expected final counter values, checked after all threads exit.
+    pub final_counters: Vec<(usize, u64)>,
+    /// What the explorer should find.
+    pub expect: Expect,
+    /// Floor on the distinct schedules an uncapped exhaustive sweep must
+    /// visit — a guard against the model (or the explorer) silently
+    /// degenerating to a handful of interleavings.
+    pub min_schedules: u64,
+    /// Preemption bound for the exhaustive sweep (`None` = unbounded;
+    /// 3-thread models use a context bound to stay tractable).
+    pub preemption_bound: Option<u32>,
+    /// Variants this model runs under (`Variant::ALL` for the suite;
+    /// DEBUG-misuse negatives run under `Debug` only).
+    pub variants: Vec<Variant>,
+}
+
+impl Model {
+    /// Whether `v` is among this model's applicable variants.
+    pub fn has_variant(&self, v: Variant) -> bool {
+        self.variants.contains(&v)
+    }
+}
+
+/// One record in a run's event log, using the shared `sunmt-trace` tag
+/// vocabulary so the same lockdep / lost-wakeup analysis could consume a
+/// real library trace.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Model thread index that produced the event.
+    pub thread: usize,
+    /// Event kind.
+    pub tag: Tag,
+    /// First payload (variable index).
+    pub a: u64,
+    /// Second payload (tag-specific).
+    pub b: u64,
+}
+
+struct MutexSt {
+    /// 0 free, 1 held, 2 held-contended — the real lock-word protocol.
+    word: u32,
+    owner: Option<usize>,
+    /// `(thread, resume_micro)`: where the thread continues once woken.
+    waiters: VecDeque<(usize, u32)>,
+}
+
+struct CvSt {
+    waiters: VecDeque<(usize, u32)>,
+}
+
+struct SemaSt {
+    count: u32,
+    waiters: VecDeque<(usize, u32)>,
+}
+
+struct RwSt {
+    readers: Vec<usize>,
+    writer: Option<usize>,
+    /// `(thread, wants_write, resume_micro)`.
+    waiters: VecDeque<(usize, bool, u32)>,
+}
+
+impl RwSt {
+    fn can_enter(&self, write: bool) -> bool {
+        if write {
+            self.writer.is_none() && self.readers.is_empty()
+        } else {
+            // Writer preference: new readers also yield to *waiting*
+            // writers, the starvation-avoidance rule.
+            self.writer.is_none() && !self.waiters.iter().any(|(_, w, _)| *w)
+        }
+    }
+}
+
+struct ThreadSt {
+    ops: Vec<SyncOp>,
+    pc: usize,
+    micro: u32,
+    scratch: u64,
+    parked: bool,
+    timed_out: bool,
+    done: bool,
+}
+
+/// Where a thread was stuck when the run went idle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockedOn {
+    /// Parked on a mutex.
+    Mutex(usize),
+    /// Parked on a condition variable.
+    Cv(usize),
+    /// Parked on a semaphore.
+    Sema(usize),
+    /// Parked on a readers/writer lock.
+    Rw(usize),
+}
+
+/// What a micro-step asks the kernel to do next.
+enum NextStep {
+    Yield,
+    Block,
+    BlockTimed(u64),
+}
+
+/// Shared state of one model execution.
+pub struct World {
+    variant: Variant,
+    mutexes: Vec<MutexSt>,
+    cvs: Vec<CvSt>,
+    semas: Vec<SemaSt>,
+    rws: Vec<RwSt>,
+    counters: Vec<u64>,
+    flags: Vec<bool>,
+    crit: Vec<Option<usize>>,
+    threads: Vec<ThreadSt>,
+    /// Thread index -> simkernel LWP id (filled at setup).
+    lwp_ids: Vec<SimLwpId>,
+    /// The run's event log (shared tag vocabulary).
+    pub events: Vec<Event>,
+    /// First assertion/misuse failure, if any.
+    pub failure: Option<String>,
+    steps: u64,
+}
+
+impl World {
+    fn new(model: &Model, variant: Variant) -> World {
+        World {
+            variant,
+            mutexes: (0..model.mutexes)
+                .map(|_| MutexSt {
+                    word: 0,
+                    owner: None,
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            cvs: (0..model.cvs)
+                .map(|_| CvSt {
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            semas: model
+                .sema_init
+                .iter()
+                .map(|c| SemaSt {
+                    count: *c,
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            rws: (0..model.rws)
+                .map(|_| RwSt {
+                    readers: Vec::new(),
+                    writer: None,
+                    waiters: VecDeque::new(),
+                })
+                .collect(),
+            counters: vec![0; model.counters],
+            flags: vec![false; model.flags],
+            crit: vec![None; model.crits],
+            threads: model
+                .threads
+                .iter()
+                .map(|ops| ThreadSt {
+                    ops: ops.clone(),
+                    pc: 0,
+                    micro: 0,
+                    scratch: 0,
+                    parked: false,
+                    timed_out: false,
+                    done: false,
+                })
+                .collect(),
+            lwp_ids: Vec::new(),
+            events: Vec::new(),
+            failure: None,
+            steps: 0,
+        }
+    }
+
+    /// True once every thread ran its program to completion.
+    pub fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.done)
+    }
+
+    /// Threads that never completed, with what they were parked on.
+    pub fn blocked(&self) -> Vec<(usize, BlockedOn)> {
+        let mut out = Vec::new();
+        for t in 0..self.threads.len() {
+            if self.threads[t].done {
+                continue;
+            }
+            let on = self
+                .mutexes
+                .iter()
+                .position(|m| m.waiters.iter().any(|(w, _)| *w == t))
+                .map(BlockedOn::Mutex)
+                .or_else(|| {
+                    self.cvs
+                        .iter()
+                        .position(|c| c.waiters.iter().any(|(w, _)| *w == t))
+                        .map(BlockedOn::Cv)
+                })
+                .or_else(|| {
+                    self.semas
+                        .iter()
+                        .position(|s| s.waiters.iter().any(|(w, _)| *w == t))
+                        .map(BlockedOn::Sema)
+                })
+                .or_else(|| {
+                    self.rws
+                        .iter()
+                        .position(|r| r.waiters.iter().any(|(w, _, _)| *w == t))
+                        .map(BlockedOn::Rw)
+                });
+            if let Some(on) = on {
+                out.push((t, on));
+            }
+        }
+        out
+    }
+
+    /// Final value of a shared counter.
+    pub fn counter(&self, i: usize) -> u64 {
+        self.counters[i]
+    }
+
+    fn fail(&mut self, t: usize, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(format!("thread {t}: {msg}"));
+        }
+    }
+
+    fn push_event(&mut self, thread: usize, tag: Tag, a: u64, b: u64) {
+        self.events.push(Event { thread, tag, a, b });
+    }
+
+    fn advance(&mut self, t: usize) {
+        self.threads[t].pc += 1;
+        self.threads[t].micro = 0;
+    }
+
+    /// Wakes `w` out of a park. The caller has already dequeued it; this
+    /// redirects its resume point and records the kernel round trip. The
+    /// actual `KernelRequest::Wake` is issued by the LWP closure from the
+    /// returned wake list.
+    fn wake(&mut self, w: usize, resume: u32, wakes: &mut Vec<usize>) {
+        self.threads[w].micro = resume;
+        self.threads[w].parked = false;
+        self.push_event(w, Tag::Wakeup, w as u64, 0);
+        if self.variant == Variant::Shared {
+            self.push_event(w, Tag::LwpUnpark, w as u64, 0);
+        }
+        wakes.push(w);
+    }
+
+    /// Marks `t` parked and returns the blocking step (timed when a
+    /// deadline is given).
+    fn park(&mut self, t: usize, timeout: Option<u64>) -> NextStep {
+        self.threads[t].parked = true;
+        if self.variant == Variant::Shared {
+            self.push_event(t, Tag::LwpPark, t as u64, 0);
+        }
+        match timeout {
+            Some(us) => NextStep::BlockTimed(us),
+            None => NextStep::Block,
+        }
+    }
+
+    /// Executes one micro-step of thread `t`; returns the simkernel op to
+    /// perform plus the model threads to wake.
+    fn step(&mut self, t: usize) -> (Op, Vec<usize>) {
+        let mut wakes = Vec::new();
+        if self.failure.is_some() {
+            // Tear the run down once anything failed.
+            self.threads[t].done = true;
+            return (Op::Exit, wakes);
+        }
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            self.fail(t, "step budget exceeded (livelock?)".into());
+            self.threads[t].done = true;
+            return (Op::Exit, wakes);
+        }
+        let pc = self.threads[t].pc;
+        let Some(op) = self.threads[t].ops.get(pc).cloned() else {
+            self.threads[t].done = true;
+            return (Op::Exit, wakes);
+        };
+        let next = self.exec(t, &op, &mut wakes);
+        let op = match next {
+            NextStep::Yield => Op::Yield,
+            NextStep::Block => Op::WaitIndefinite,
+            NextStep::BlockTimed(latency) => Op::IndefiniteSyscall { latency },
+        };
+        (op, wakes)
+    }
+
+    // -----------------------------------------------------------------
+    // The micro-step machines.
+
+    fn exec(&mut self, t: usize, op: &SyncOp, wakes: &mut Vec<usize>) -> NextStep {
+        match *op {
+            SyncOp::Work(n) => {
+                self.threads[t].micro += 1;
+                if self.threads[t].micro >= n {
+                    self.advance(t);
+                }
+                NextStep::Yield
+            }
+            SyncOp::MutexEnter(m) => self.mutex_enter_machine(t, m, 0, None),
+            SyncOp::MutexExit(m) => self.mutex_exit_machine(t, m, wakes),
+            SyncOp::TryenterElseSkip { mutex, skip } => {
+                // One atomic try: claim or skip, never park.
+                if self.variant == Variant::Debug && self.mutexes[mutex].owner == Some(t) {
+                    self.fail(
+                        t,
+                        format!("DEBUG: recursive mutex_tryenter of mutex {mutex}"),
+                    );
+                    return NextStep::Yield;
+                }
+                if self.mutexes[mutex].word == 0 {
+                    self.mutexes[mutex].word = 1;
+                    self.mutexes[mutex].owner = Some(t);
+                    self.push_event(t, Tag::MutexAcquire, mutex as u64, t as u64);
+                    self.advance(t);
+                } else {
+                    self.threads[t].pc += 1 + skip;
+                    self.threads[t].micro = 0;
+                }
+                NextStep::Yield
+            }
+            SyncOp::CvWaitOnce { cv, mutex } => {
+                let step = self.cv_wait_machine(t, cv, mutex, None, 0, wakes);
+                if self.threads[t].micro == 5 {
+                    self.advance(t);
+                }
+                step
+            }
+            SyncOp::WaitUntilFlag { flag, cv, mutex } => {
+                self.flag_wait_machine(t, flag, cv, mutex, None, wakes)
+            }
+            SyncOp::TimedWaitUntilFlag {
+                flag,
+                cv,
+                mutex,
+                timeout,
+            } => self.flag_wait_machine(t, flag, cv, mutex, Some(timeout), wakes),
+            SyncOp::CvSignal(cv) => {
+                if let Some((w, resume)) = self.cvs[cv].waiters.pop_front() {
+                    self.push_event(t, Tag::CvSignal, cv as u64, 1);
+                    self.wake(w, resume, wakes);
+                } else {
+                    // A signal that found no waiter: legal on its own, but
+                    // the lost-wakeup analysis pairs it with a
+                    // forever-blocked waiter to diagnose check-then-wait
+                    // races.
+                    self.push_event(t, Tag::CvSignal, cv as u64, 0);
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::CvBroadcast(cv) => {
+                let n = self.cvs[cv].waiters.len() as u64;
+                while let Some((w, resume)) = self.cvs[cv].waiters.pop_front() {
+                    self.wake(w, resume, wakes);
+                }
+                self.push_event(t, Tag::CvBroadcast, cv as u64, n);
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::SemaP(s) => {
+                if self.semas[s].count > 0 {
+                    self.semas[s].count -= 1;
+                    self.advance(t);
+                    NextStep::Yield
+                } else {
+                    // Park; `sema_v` wakes us back to micro 0 and we retry
+                    // (another `p()` may have taken the count first).
+                    self.push_event(t, Tag::SemaBlock, s as u64, 0);
+                    self.semas[s].waiters.push_back((t, 0));
+                    self.park(t, None)
+                }
+            }
+            SyncOp::SemaV(s) => {
+                if self.threads[t].micro == 0 {
+                    self.semas[s].count += 1;
+                    self.push_event(t, Tag::SemaPost, s as u64, u64::from(self.semas[s].count));
+                    if self.semas[s].waiters.is_empty() {
+                        self.advance(t);
+                    } else {
+                        self.threads[t].micro = 1;
+                    }
+                } else {
+                    if let Some((w, resume)) = self.semas[s].waiters.pop_front() {
+                        self.wake(w, resume, wakes);
+                    }
+                    self.advance(t);
+                }
+                NextStep::Yield
+            }
+            SyncOp::RwEnter { rw, write } => self.rw_enter_machine(t, rw, write, 0),
+            SyncOp::RwExit(rw) => {
+                if self.threads[t].micro == 0 {
+                    if self.rws[rw].writer == Some(t) {
+                        self.rws[rw].writer = None;
+                        self.push_event(t, Tag::RwRelease, rw as u64, 1);
+                    } else if let Some(i) = self.rws[rw].readers.iter().position(|r| *r == t) {
+                        self.rws[rw].readers.swap_remove(i);
+                        self.push_event(t, Tag::RwRelease, rw as u64, 0);
+                    } else {
+                        if self.variant == Variant::Debug {
+                            self.fail(t, format!("DEBUG: rw_exit of rwlock {rw} without a hold"));
+                        }
+                        self.advance(t);
+                        return NextStep::Yield;
+                    }
+                    if self.rws[rw].waiters.is_empty() {
+                        self.advance(t);
+                    } else {
+                        self.threads[t].micro = 1;
+                    }
+                } else {
+                    // Wake every waiter; each re-runs its entry check
+                    // (retry semantics — writer preference is enforced at
+                    // acquire time, not by direct handoff).
+                    let woken: Vec<(usize, u32)> = self.rws[rw]
+                        .waiters
+                        .drain(..)
+                        .map(|(w, _, resume)| (w, resume))
+                        .collect();
+                    for (w, resume) in woken {
+                        self.wake(w, resume, wakes);
+                    }
+                    self.advance(t);
+                }
+                NextStep::Yield
+            }
+            SyncOp::RwDowngrade(rw) => {
+                if self.rws[rw].writer != Some(t) {
+                    self.fail(t, format!("rw_downgrade of rwlock {rw} without write hold"));
+                    return NextStep::Yield;
+                }
+                self.rws[rw].writer = None;
+                self.rws[rw].readers.push(t);
+                self.push_event(t, Tag::RwRelease, rw as u64, 1);
+                self.push_event(t, Tag::RwAcquire, rw as u64, 2);
+                // Waiting readers may now enter (unless a queued writer
+                // wins the re-run of the entry check).
+                let woken: Vec<(usize, u32)> = self.rws[rw]
+                    .waiters
+                    .drain(..)
+                    .map(|(w, _, resume)| (w, resume))
+                    .collect();
+                for (w, resume) in woken {
+                    self.wake(w, resume, wakes);
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::RwTryupgradeOrWrite(rw) => {
+                if self.threads[t].micro == 0 {
+                    // The atomic upgrade attempt: sole reader, no writer.
+                    if self.rws[rw].readers == [t] && self.rws[rw].writer.is_none() {
+                        self.rws[rw].readers.clear();
+                        self.rws[rw].writer = Some(t);
+                        self.push_event(t, Tag::RwAcquire, rw as u64, 3);
+                        self.advance(t);
+                    } else if !self.rws[rw].readers.contains(&t) {
+                        self.fail(t, format!("rw_tryupgrade of rwlock {rw} without read hold"));
+                    } else {
+                        // Lost the race: drop the read hold, queue as a
+                        // plain writer.
+                        self.threads[t].micro = 1;
+                    }
+                    NextStep::Yield
+                } else if self.threads[t].micro == 1 {
+                    let i = self.rws[rw]
+                        .readers
+                        .iter()
+                        .position(|r| *r == t)
+                        .expect("read hold checked at micro 0");
+                    self.rws[rw].readers.swap_remove(i);
+                    self.push_event(t, Tag::RwRelease, rw as u64, 0);
+                    self.threads[t].micro = 2;
+                    NextStep::Yield
+                } else {
+                    self.rw_enter_machine(t, rw, true, 2)
+                }
+            }
+            SyncOp::Incr(c) => {
+                if self.threads[t].micro == 0 {
+                    self.threads[t].scratch = self.counters[c];
+                    self.threads[t].micro = 1;
+                } else {
+                    self.counters[c] = self.threads[t].scratch + 1;
+                    self.advance(t);
+                }
+                NextStep::Yield
+            }
+            SyncOp::ReadStable(c) => {
+                if self.threads[t].micro == 0 {
+                    self.threads[t].scratch = self.counters[c];
+                    self.threads[t].micro = 1;
+                } else {
+                    let seen = self.threads[t].scratch;
+                    let now = self.counters[c];
+                    if now != seen {
+                        self.fail(
+                            t,
+                            format!("torn read: counter {c} moved {seen} -> {now} under rw hold"),
+                        );
+                    }
+                    self.advance(t);
+                }
+                NextStep::Yield
+            }
+            SyncOp::SetFlag(f) => {
+                self.flags[f] = true;
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::SkipIfFlag { flag, skip } => {
+                if self.flags[flag] {
+                    self.threads[t].pc += 1 + skip;
+                } else {
+                    self.threads[t].pc += 1;
+                }
+                self.threads[t].micro = 0;
+                NextStep::Yield
+            }
+            SyncOp::AssertFlag(f) => {
+                if !self.flags[f] {
+                    self.fail(t, format!("assertion failed: flag {f} not set"));
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::AssertTimedOut(expect) => {
+                let got = self.threads[t].timed_out;
+                if got != expect {
+                    self.fail(
+                        t,
+                        format!("assertion failed: timed_out={got}, expected {expect}"),
+                    );
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::CritEnter(c) => {
+                if let Some(other) = self.crit[c] {
+                    self.fail(
+                        t,
+                        format!(
+                            "mutual exclusion violated: section {c} already held by thread {other}"
+                        ),
+                    );
+                } else {
+                    self.crit[c] = Some(t);
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            SyncOp::CritExit(c) => {
+                if self.crit[c] == Some(t) {
+                    self.crit[c] = None;
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+        }
+    }
+
+    /// The `mutex_enter` machine. Micro-states (relative to `base`):
+    /// `base+0` read the word, `base+1` CAS it, `base+2` park-or-retry.
+    /// On acquisition the thread advances to its next op, or jumps to
+    /// micro `done` when embedded inside a larger machine (cv re-acquire,
+    /// rw upgrade fallback). A parked waiter resumes at `base+0` and
+    /// re-runs the full read/CAS — the retry loop that tolerates barging.
+    fn mutex_enter_machine(
+        &mut self,
+        t: usize,
+        m: usize,
+        base: u32,
+        done: Option<u32>,
+    ) -> NextStep {
+        match self.threads[t].micro - base {
+            0 => {
+                if self.variant == Variant::Debug && self.mutexes[m].owner == Some(t) {
+                    self.fail(t, format!("DEBUG: recursive mutex_enter of mutex {m}"));
+                    return NextStep::Yield;
+                }
+                // Read the word; deciding on a stale value is the race
+                // window the explorer probes.
+                let free = self.mutexes[m].word == 0;
+                self.threads[t].micro = base + if free { 1 } else { 2 };
+                NextStep::Yield
+            }
+            1 => {
+                // The CAS: claim only if still free.
+                if self.mutexes[m].word == 0 {
+                    self.mutexes[m].word = 1;
+                    self.mutexes[m].owner = Some(t);
+                    self.push_event(t, Tag::MutexAcquire, m as u64, t as u64);
+                    match done {
+                        None => self.advance(t),
+                        Some(d) => self.threads[t].micro = d,
+                    }
+                } else {
+                    self.threads[t].micro = base + 2;
+                }
+                NextStep::Yield
+            }
+            _ => {
+                if self.mutexes[m].word == 0 {
+                    // Released since we decided to park: retry the CAS.
+                    self.threads[t].micro = base;
+                    NextStep::Yield
+                } else {
+                    // Atomic check-then-park (futex `wait(word, expected)`):
+                    // mark contended, enqueue, sleep.
+                    self.mutexes[m].word = 2;
+                    self.push_event(t, Tag::MutexBlock, m as u64, 0);
+                    self.mutexes[m].waiters.push_back((t, base));
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+
+    /// The `mutex_exit` machine: release the word (making the lock
+    /// claimable) in one step, wake one waiter in the next — the real
+    /// store-then-futex-wake sequence, whose window lets a third thread
+    /// barge in (which the woken waiter's retry loop must tolerate).
+    fn mutex_exit_machine(&mut self, t: usize, m: usize, wakes: &mut Vec<usize>) -> NextStep {
+        if self.threads[t].micro == 0 {
+            if self.variant == Variant::Debug && self.mutexes[m].owner != Some(t) {
+                self.fail(t, format!("DEBUG: mutex_exit of mutex {m} by non-owner"));
+                return NextStep::Yield;
+            }
+            if self.mutexes[m].owner == Some(t) {
+                self.mutexes[m].owner = None;
+            }
+            self.mutexes[m].word = 0;
+            self.push_event(t, Tag::MutexRelease, m as u64, t as u64);
+            if self.mutexes[m].waiters.is_empty() {
+                self.advance(t);
+            } else {
+                self.threads[t].micro = 1;
+            }
+        } else {
+            if let Some((w, resume)) = self.mutexes[m].waiters.pop_front() {
+                self.wake(w, resume, wakes);
+            }
+            self.advance(t);
+        }
+        NextStep::Yield
+    }
+
+    /// The `cv_wait` machine (one full wait, no predicate loop).
+    ///
+    /// Micro-states relative to `base`: `+0` atomically enqueue on the cv
+    /// and release the mutex (waking one mutex waiter — the release must
+    /// not strand them); `+1` park, timed or not; `+2..+4` re-acquire the
+    /// mutex; `+5` done (the caller's machine takes over).
+    ///
+    /// A signaller dequeues the thread and redirects it to `base+2`, so a
+    /// signal landing between enqueue and park is consumed, not lost —
+    /// the `cv_wait` atomicity guarantee. A timer wake finds the thread
+    /// still queued (`parked` set, micro still `base+1`): it dequeues
+    /// itself and reports the timeout.
+    fn cv_wait_machine(
+        &mut self,
+        t: usize,
+        cv: usize,
+        m: usize,
+        timeout: Option<u64>,
+        base: u32,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        match self.threads[t].micro - base {
+            0 => {
+                if self.variant == Variant::Debug && self.mutexes[m].owner != Some(t) {
+                    self.fail(t, format!("DEBUG: cv_wait without holding mutex {m}"));
+                    return NextStep::Yield;
+                }
+                self.threads[t].timed_out = false;
+                // Queue on the cv and release the mutex in one atomic
+                // step: queue-before-release is what makes the wakeup
+                // un-losable for signallers that hold the mutex.
+                self.cvs[cv].waiters.push_back((t, base + 2));
+                self.push_event(t, Tag::CvBlock, cv as u64, 0);
+                self.mutexes[m].owner = None;
+                self.mutexes[m].word = 0;
+                self.push_event(t, Tag::MutexRelease, m as u64, t as u64);
+                if let Some((w, resume)) = self.mutexes[m].waiters.pop_front() {
+                    self.wake(w, resume, wakes);
+                }
+                self.threads[t].micro = base + 1;
+                NextStep::Yield
+            }
+            1 => {
+                if self.threads[t].parked {
+                    // The deadline fired while we were still queued: no
+                    // signal ever picked us, so report the timeout and go
+                    // re-acquire.
+                    self.threads[t].parked = false;
+                    self.cvs[cv].waiters.retain(|(w, _)| *w != t);
+                    self.threads[t].timed_out = true;
+                    self.push_event(t, Tag::SleepTimeout, cv as u64, t as u64);
+                    self.threads[t].micro = base + 2;
+                    NextStep::Yield
+                } else {
+                    // Still queued (a signal would have redirected us past
+                    // this state): park for real.
+                    self.park(t, timeout)
+                }
+            }
+            _ => self.mutex_enter_machine(t, m, base + 2, Some(base + 5)),
+        }
+    }
+
+    /// `while !flag { cv_wait / cv_timedwait }` with the predicate checked
+    /// under the mutex; a timed wait that expires gives up the loop.
+    ///
+    /// Micro-states: `0` predicate check; `1..=5` the wait machine
+    /// (base 1); `6` post-wait re-check.
+    fn flag_wait_machine(
+        &mut self,
+        t: usize,
+        flag: usize,
+        cv: usize,
+        m: usize,
+        timeout: Option<u64>,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        if self.threads[t].micro == 0 {
+            if self.variant == Variant::Debug && self.mutexes[m].owner != Some(t) {
+                self.fail(t, format!("DEBUG: cv predicate check without mutex {m}"));
+                return NextStep::Yield;
+            }
+            if self.flags[flag] {
+                self.advance(t);
+            } else {
+                self.threads[t].micro = 1;
+            }
+            return NextStep::Yield;
+        }
+        let step = self.cv_wait_machine(t, cv, m, timeout, 1, wakes);
+        if self.threads[t].micro == 6 {
+            // Re-acquired after a wake: re-check the predicate under the
+            // mutex, or give up if the deadline fired.
+            if self.flags[flag] || self.threads[t].timed_out {
+                self.advance(t);
+            } else {
+                self.threads[t].micro = 1;
+            }
+        }
+        step
+    }
+
+    /// The `rw_enter` machine: read the lock state, commit on a re-check,
+    /// park-or-retry on contention (same shape as `mutex_enter`).
+    fn rw_enter_machine(&mut self, t: usize, rw: usize, write: bool, base: u32) -> NextStep {
+        match self.threads[t].micro - base {
+            0 => {
+                let can = self.rws[rw].can_enter(write);
+                self.threads[t].micro = base + if can { 1 } else { 2 };
+                NextStep::Yield
+            }
+            1 => {
+                if self.rws[rw].can_enter(write) {
+                    if write {
+                        self.rws[rw].writer = Some(t);
+                    } else {
+                        self.rws[rw].readers.push(t);
+                    }
+                    self.push_event(t, Tag::RwAcquire, rw as u64, u64::from(write));
+                    self.advance(t);
+                } else {
+                    self.threads[t].micro = base + 2;
+                }
+                NextStep::Yield
+            }
+            _ => {
+                if self.rws[rw].can_enter(write) {
+                    self.threads[t].micro = base;
+                    NextStep::Yield
+                } else {
+                    self.push_event(t, Tag::RwBlock, rw as u64, u64::from(write));
+                    self.rws[rw].waiters.push_back((t, write, base));
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+}
+
+/// Result of one complete schedule run.
+pub struct RunOutcome {
+    /// Every multi-candidate scheduling decision of the run, in order.
+    pub points: Vec<ChoicePointRec>,
+    /// The chosen column of `points` — the replayable schedule.
+    pub taken: Vec<u32>,
+    /// Classified failure, if the run failed.
+    pub failure: Option<String>,
+    /// The run's event log.
+    pub events: Vec<Event>,
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Copy, Debug)]
+pub struct ChoicePointRec {
+    /// Number of candidates.
+    pub arity: u32,
+    /// Which one ran.
+    pub chosen: u32,
+    /// Candidate index that would have continued the previously running
+    /// thread, when that thread is among the candidates — picking any
+    /// other index is a preemption.
+    pub cont: Option<u32>,
+}
+
+/// How a run picks schedule choices. Implementations must be
+/// deterministic in their own state: the same chooser fed the same run
+/// produces the same schedule.
+pub trait Chooser {
+    /// Picks a candidate index given the dispatch-ordered candidates, the
+    /// continuation index (previously running thread, if runnable), and
+    /// the ordinal of this multi-candidate decision within the run.
+    fn choose(&mut self, cands: &[SimLwpId], cont: Option<u32>, pos: usize) -> u32;
+}
+
+/// Follows a recorded prefix, then keeps running the current thread
+/// (fewest-preemption completion) — the canonical leaf of a DFS subtree
+/// and the replay chooser for schedule strings.
+pub struct PrefixChooser {
+    /// The recorded choices to follow.
+    pub prefix: Vec<u32>,
+}
+
+impl Chooser for PrefixChooser {
+    fn choose(&mut self, cands: &[SimLwpId], cont: Option<u32>, pos: usize) -> u32 {
+        match self.prefix.get(pos) {
+            Some(c) => (*c).min(cands.len() as u32 - 1),
+            None => cont.unwrap_or(0),
+        }
+    }
+}
+
+/// Runs `model` under `variant` with schedule decisions from `chooser`.
+///
+/// The run is fully deterministic in `(model, variant, chooser)`; feeding
+/// [`RunOutcome::taken`] back through a [`PrefixChooser`] reproduces it
+/// exactly — that property is what makes printed schedule strings
+/// replayable.
+pub fn run_model(model: &Model, variant: Variant, chooser: Rc<RefCell<dyn Chooser>>) -> RunOutcome {
+    let mut k = SimKernel::new(SimConfig {
+        cpus: 1,
+        ts_quantum: 1 << 40,
+        dispatch_cost: 0,
+    });
+    let pid = k.add_process();
+    let world = Rc::new(RefCell::new(World::new(model, variant)));
+    for t in 0..model.threads.len() {
+        let w = Rc::clone(&world);
+        let id = k.add_lwp(
+            pid,
+            SchedClass::Ts,
+            LwpProgram::Dynamic(Box::new(move |view| {
+                let (op, wakes) = w.borrow_mut().step(t);
+                if !wakes.is_empty() {
+                    let w = w.borrow();
+                    for wt in wakes {
+                        view.requests.push(KernelRequest::Wake(w.lwp_ids[wt]));
+                    }
+                }
+                op
+            })),
+        );
+        world.borrow_mut().lwp_ids.push(id);
+    }
+    // The hook tracks the last-placed LWP to compute continuation indices
+    // and records every multi-candidate decision for the schedule string.
+    struct HookSt {
+        last: Option<SimLwpId>,
+        pos: usize,
+        points: Vec<ChoicePointRec>,
+    }
+    let hook_st = Rc::new(RefCell::new(HookSt {
+        last: None,
+        pos: 0,
+        points: Vec::new(),
+    }));
+    let hs = Rc::clone(&hook_st);
+    k.set_schedule_hook(Box::new(move |cands| {
+        let mut st = hs.borrow_mut();
+        if cands.len() <= 1 {
+            st.last = cands.first().copied();
+            return 0;
+        }
+        let cont = st
+            .last
+            .and_then(|l| cands.iter().position(|c| *c == l))
+            .map(|i| i as u32);
+        let pos = st.pos;
+        let chosen = chooser
+            .borrow_mut()
+            .choose(cands, cont, pos)
+            .min(cands.len() as u32 - 1);
+        st.points.push(ChoicePointRec {
+            arity: cands.len() as u32,
+            chosen,
+            cont,
+        });
+        st.pos += 1;
+        st.last = Some(cands[chosen as usize]);
+        chosen as usize
+    }));
+    k.run_until_idle(1 << 60);
+
+    let world = world.borrow();
+    let hook_st = hook_st.borrow();
+    let failure = classify(model, &world);
+    let points = hook_st.points.clone();
+    let taken = points.iter().map(|p| p.chosen).collect();
+    RunOutcome {
+        points,
+        taken,
+        failure,
+        events: world.events.clone(),
+    }
+}
+
+/// Classifies the end state of a run: explicit failure, lost wakeup,
+/// deadlock, or final-value assertion.
+fn classify(model: &Model, world: &World) -> Option<String> {
+    if let Some(f) = &world.failure {
+        return Some(f.clone());
+    }
+    let blocked = world.blocked();
+    if !blocked.is_empty() {
+        // A cv-blocked thread plus a no-waiter signal on the same cv is
+        // the lost-wakeup signature (check-then-wait race).
+        for (t, on) in &blocked {
+            if let BlockedOn::Cv(cv) = on {
+                let lost = world
+                    .events
+                    .iter()
+                    .any(|e| e.tag == Tag::CvSignal && e.a == *cv as u64 && e.b == 0);
+                if lost {
+                    return Some(format!(
+                        "lost wakeup: thread {t} blocked forever on cv {cv}, which was \
+                         signalled while no waiter was present"
+                    ));
+                }
+            }
+        }
+        let desc: Vec<String> = blocked
+            .iter()
+            .map(|(t, on)| format!("thread {t} on {on:?}"))
+            .collect();
+        return Some(format!("deadlock: {}", desc.join(", ")));
+    }
+    if !world.all_done() {
+        return Some("stuck: a thread is neither done nor parked (model bug)".into());
+    }
+    for (c, expect) in &model.final_counters {
+        let got = world.counter(*c);
+        if got != *expect {
+            return Some(format!(
+                "assertion failed: counter {c} ended at {got}, expected {expect} \
+                 (lost update: mutual exclusion broken)"
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_thread_mutex() -> Model {
+        Model {
+            name: "t",
+            about: "",
+            threads: vec![
+                vec![SyncOp::MutexEnter(0), SyncOp::Incr(0), SyncOp::MutexExit(0)],
+                vec![SyncOp::MutexEnter(0), SyncOp::Incr(0), SyncOp::MutexExit(0)],
+            ],
+            mutexes: 1,
+            cvs: 0,
+            sema_init: vec![],
+            rws: 0,
+            counters: 1,
+            flags: 0,
+            crits: 0,
+            final_counters: vec![(0, 2)],
+            expect: Expect::Pass,
+            min_schedules: 0,
+            preemption_bound: None,
+            variants: vec![Variant::Default],
+        }
+    }
+
+    /// Alternates threads at every decision — a maximally adversarial
+    /// round-robin.
+    struct Alt;
+    impl Chooser for Alt {
+        fn choose(&mut self, cands: &[SimLwpId], _cont: Option<u32>, pos: usize) -> u32 {
+            (pos as u32 + 1) % cands.len() as u32
+        }
+    }
+
+    #[test]
+    fn serial_schedule_passes() {
+        let m = two_thread_mutex();
+        let c = Rc::new(RefCell::new(PrefixChooser { prefix: vec![] }));
+        let out = run_model(&m, Variant::Default, c);
+        assert_eq!(out.failure, None);
+        assert!(out
+            .events
+            .iter()
+            .any(|e| e.tag == Tag::MutexAcquire && e.thread == 0));
+    }
+
+    #[test]
+    fn replay_reproduces_choices_and_outcome() {
+        let m = two_thread_mutex();
+        let out = run_model(&m, Variant::Default, Rc::new(RefCell::new(Alt)));
+        let replay = Rc::new(RefCell::new(PrefixChooser {
+            prefix: out.taken.clone(),
+        }));
+        let again = run_model(&m, Variant::Default, replay);
+        assert_eq!(out.taken, again.taken);
+        assert_eq!(out.failure, again.failure);
+        assert_eq!(out.events.len(), again.events.len());
+    }
+
+    #[test]
+    fn mutex_protects_against_adversarial_schedule() {
+        let m = two_thread_mutex();
+        let out = run_model(&m, Variant::Default, Rc::new(RefCell::new(Alt)));
+        assert_eq!(out.failure, None);
+    }
+
+    #[test]
+    fn unlocked_increment_is_torn_under_some_schedule() {
+        // Without the mutex, an interleaved load/store loses an update:
+        // both threads load 0, both store 1.
+        let m = Model {
+            threads: vec![vec![SyncOp::Incr(0)], vec![SyncOp::Incr(0)]],
+            mutexes: 0,
+            final_counters: vec![(0, 2)],
+            ..two_thread_mutex()
+        };
+        let out = run_model(&m, Variant::Default, Rc::new(RefCell::new(Alt)));
+        assert!(
+            out.failure
+                .as_deref()
+                .is_some_and(|f| f.contains("counter")),
+            "expected a lost update, got {:?}",
+            out.failure
+        );
+    }
+
+    #[test]
+    fn debug_variant_catches_non_owner_exit() {
+        let m = Model {
+            threads: vec![vec![SyncOp::MutexExit(0)]],
+            final_counters: vec![],
+            variants: vec![Variant::Debug],
+            ..two_thread_mutex()
+        };
+        let c = Rc::new(RefCell::new(PrefixChooser { prefix: vec![] }));
+        let out = run_model(&m, Variant::Debug, c);
+        assert!(out
+            .failure
+            .as_deref()
+            .is_some_and(|f| f.contains("non-owner")));
+    }
+
+    #[test]
+    fn timed_wait_times_out_without_signal() {
+        let m = Model {
+            threads: vec![vec![
+                SyncOp::MutexEnter(0),
+                SyncOp::TimedWaitUntilFlag {
+                    flag: 0,
+                    cv: 0,
+                    mutex: 0,
+                    timeout: 100,
+                },
+                SyncOp::AssertTimedOut(true),
+                SyncOp::MutexExit(0),
+            ]],
+            cvs: 1,
+            flags: 1,
+            final_counters: vec![],
+            ..two_thread_mutex()
+        };
+        let c = Rc::new(RefCell::new(PrefixChooser { prefix: vec![] }));
+        let out = run_model(&m, Variant::Default, c);
+        assert_eq!(out.failure, None, "{:?}", out.failure);
+    }
+
+    #[test]
+    fn signal_beats_timeout_in_virtual_time() {
+        // All compute happens at virtual time 0, so a signaller that
+        // exists always lands before any deadline fires.
+        let m = Model {
+            threads: vec![
+                vec![
+                    SyncOp::MutexEnter(0),
+                    SyncOp::TimedWaitUntilFlag {
+                        flag: 0,
+                        cv: 0,
+                        mutex: 0,
+                        timeout: 1_000_000,
+                    },
+                    SyncOp::AssertTimedOut(false),
+                    SyncOp::AssertFlag(0),
+                    SyncOp::MutexExit(0),
+                ],
+                vec![
+                    SyncOp::Work(3),
+                    SyncOp::MutexEnter(0),
+                    SyncOp::SetFlag(0),
+                    SyncOp::CvSignal(0),
+                    SyncOp::MutexExit(0),
+                ],
+            ],
+            cvs: 1,
+            flags: 1,
+            final_counters: vec![],
+            ..two_thread_mutex()
+        };
+        for chooser in [
+            Rc::new(RefCell::new(PrefixChooser { prefix: vec![] })) as Rc<RefCell<dyn Chooser>>,
+            Rc::new(RefCell::new(Alt)),
+        ] {
+            let out = run_model(&m, Variant::Default, chooser);
+            assert_eq!(out.failure, None, "{:?}", out.failure);
+        }
+    }
+}

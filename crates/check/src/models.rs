@@ -1,0 +1,479 @@
+//! The model catalogue: the sync-variable suite under the checker.
+//!
+//! Positive models must pass under *every* explored schedule — their
+//! oracles (critical-section occupancy, final counter values, stable
+//! reads, timed-wait outcomes) convict any interleaving the primitives
+//! fail to serialize. Negative models seed a real bug — a check-then-wait
+//! lost wakeup, an AB-BA lock cycle, a `DEBUG`-variant misuse — that the
+//! explorer is *required* to find; they are the checker's own
+//! self-test, proving the sweep actually reaches the bad interleavings.
+
+use crate::model::{Expect, Model, SyncOp, Variant};
+
+use SyncOp::*;
+
+fn base(name: &'static str, about: &'static str, threads: Vec<Vec<SyncOp>>) -> Model {
+    Model {
+        name,
+        about,
+        threads,
+        mutexes: 0,
+        cvs: 0,
+        sema_init: vec![],
+        rws: 0,
+        counters: 0,
+        flags: 0,
+        crits: 0,
+        final_counters: vec![],
+        expect: Expect::Pass,
+        min_schedules: 0,
+        preemption_bound: None,
+        variants: Variant::ALL.to_vec(),
+    }
+}
+
+/// Every model the checker knows, positive and negative.
+pub fn catalogue() -> Vec<Model> {
+    vec![
+        // -------------------------------------------------------- mutex
+        Model {
+            mutexes: 1,
+            counters: 1,
+            crits: 1,
+            final_counters: vec![(0, 2)],
+            min_schedules: 1_000,
+            ..base(
+                "mutex_basic",
+                "two threads contend one mutex around a torn increment",
+                vec![
+                    vec![
+                        Work(1),
+                        MutexEnter(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                        Work(1),
+                    ],
+                    vec![
+                        Work(1),
+                        MutexEnter(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                        Work(1),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
+            counters: 1,
+            crits: 1,
+            // Whoever loses the try skips the increment: any count is
+            // legal, but the section must stay exclusive.
+            ..base(
+                "mutex_tryenter",
+                "mutex_tryenter either claims the lock or skips the section",
+                vec![
+                    vec![
+                        TryenterElseSkip { mutex: 0, skip: 4 },
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        TryenterElseSkip { mutex: 0, skip: 4 },
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                    ],
+                ],
+            )
+        },
+        // ----------------------------------------------------------- cv
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            min_schedules: 1_000,
+            ..base(
+                "cv_pingpong",
+                "producer sets a flag and signals; consumer monitor-waits for it",
+                vec![
+                    vec![
+                        Work(1),
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvSignal(0),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                        AssertFlag(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            preemption_bound: Some(3),
+            ..base(
+                "cv_broadcast",
+                "cv_broadcast releases every monitor waiter",
+                vec![
+                    vec![
+                        Work(1),
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvBroadcast(0),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                        AssertFlag(0),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                        AssertFlag(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            ..base(
+                "cv_timedwait_signal",
+                "a signal always beats a far deadline in virtual time",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        TimedWaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                            timeout: 1_000_000,
+                        },
+                        AssertTimedOut(false),
+                        AssertFlag(0),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        Work(2),
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvSignal(0),
+                        MutexExit(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            counters: 1,
+            ..base(
+                "cv_timedwait_timeout",
+                "with no signaller the timed wait expires and reports it",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        TimedWaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                            timeout: 50,
+                        },
+                        AssertTimedOut(true),
+                        MutexExit(0),
+                    ],
+                    // Unrelated mutex traffic; never sets the flag.
+                    vec![MutexEnter(0), Incr(0), MutexExit(0)],
+                ],
+            )
+        },
+        // --------------------------------------------------------- sema
+        Model {
+            sema_init: vec![1],
+            counters: 1,
+            crits: 1,
+            final_counters: vec![(0, 2)],
+            ..base(
+                "sema_binary",
+                "a binary semaphore serializes a critical section",
+                vec![
+                    vec![SemaP(0), CritEnter(0), Incr(0), CritExit(0), SemaV(0)],
+                    vec![SemaP(0), CritEnter(0), Incr(0), CritExit(0), SemaV(0)],
+                ],
+            )
+        },
+        Model {
+            sema_init: vec![0],
+            flags: 1,
+            ..base(
+                "sema_handoff",
+                "sema_v publishes a flag write to the sema_p side",
+                vec![
+                    vec![Work(1), SetFlag(0), SemaV(0)],
+                    vec![SemaP(0), AssertFlag(0)],
+                ],
+            )
+        },
+        // ----------------------------------------------------------- rw
+        Model {
+            rws: 1,
+            counters: 1,
+            preemption_bound: Some(3),
+            ..base(
+                "rw_basic",
+                "readers see no torn state while a writer mutates under rw_enter",
+                vec![
+                    vec![RwEnter { rw: 0, write: true }, Incr(0), Incr(0), RwExit(0)],
+                    vec![
+                        RwEnter {
+                            rw: 0,
+                            write: false,
+                        },
+                        ReadStable(0),
+                        RwExit(0),
+                    ],
+                    vec![
+                        RwEnter {
+                            rw: 0,
+                            write: false,
+                        },
+                        ReadStable(0),
+                        RwExit(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            rws: 1,
+            counters: 1,
+            ..base(
+                "rw_downgrade",
+                "rw_downgrade keeps the hold while readers join",
+                vec![
+                    vec![
+                        RwEnter { rw: 0, write: true },
+                        Incr(0),
+                        RwDowngrade(0),
+                        ReadStable(0),
+                        RwExit(0),
+                    ],
+                    vec![
+                        RwEnter {
+                            rw: 0,
+                            write: false,
+                        },
+                        ReadStable(0),
+                        RwExit(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            rws: 1,
+            counters: 1,
+            crits: 1,
+            final_counters: vec![(0, 2)],
+            ..base(
+                "rw_tryupgrade",
+                "both readers race to upgrade; the loser falls back to a write enter",
+                vec![
+                    vec![
+                        RwEnter {
+                            rw: 0,
+                            write: false,
+                        },
+                        RwTryupgradeOrWrite(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        RwExit(0),
+                    ],
+                    vec![
+                        RwEnter {
+                            rw: 0,
+                            write: false,
+                        },
+                        RwTryupgradeOrWrite(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        RwExit(0),
+                    ],
+                ],
+            )
+        },
+        // ----------------------------------------- negatives (seeded bugs)
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            expect: Expect::FailContaining("lost wakeup"),
+            ..base(
+                "neg_lost_wakeup",
+                "flag checked outside the mutex: the signal can land before the wait",
+                vec![
+                    // The producer takes no lock around set+signal...
+                    vec![Work(1), SetFlag(0), CvSignal(0)],
+                    // ...and the consumer tests the flag before locking:
+                    // between its check and its cv_wait the signal fires
+                    // into empty air.
+                    vec![
+                        SkipIfFlag { flag: 0, skip: 4 },
+                        MutexEnter(0),
+                        CvWaitOnce { cv: 0, mutex: 0 },
+                        MutexExit(0),
+                        AssertFlag(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 2,
+            expect: Expect::FailContaining("deadlock"),
+            ..base(
+                "neg_lock_cycle",
+                "AB-BA lock ordering: some schedules deadlock, all runs cycle in lockdep",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        Work(1),
+                        MutexEnter(1),
+                        MutexExit(1),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(1),
+                        Work(1),
+                        MutexEnter(0),
+                        MutexExit(0),
+                        MutexExit(1),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
+            expect: Expect::FailContaining("recursive"),
+            variants: vec![Variant::Debug],
+            ..base(
+                "neg_debug_recursive",
+                "DEBUG variant convicts a recursive mutex_enter",
+                vec![vec![MutexEnter(0), MutexEnter(0), MutexExit(0)]],
+            )
+        },
+        Model {
+            mutexes: 1,
+            expect: Expect::FailContaining("non-owner"),
+            variants: vec![Variant::Debug],
+            ..base(
+                "neg_debug_unlock",
+                "DEBUG variant convicts mutex_exit by a non-owner",
+                vec![vec![MutexExit(0)]],
+            )
+        },
+    ]
+}
+
+/// Looks a model up by name.
+pub fn by_name<'a>(models: &'a [Model], name: &str) -> Option<&'a Model> {
+    models.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_wellformed() {
+        let models = catalogue();
+        for (i, m) in models.iter().enumerate() {
+            assert!(!m.name.is_empty() && !m.name.contains('/'));
+            assert!(!m.threads.is_empty());
+            assert!(!m.variants.is_empty());
+            for other in &models[i + 1..] {
+                assert_ne!(m.name, other.name);
+            }
+        }
+        assert!(by_name(&models, "mutex_basic").is_some());
+        assert!(by_name(&models, "nope").is_none());
+    }
+
+    #[test]
+    fn op_indices_are_in_range() {
+        // Cheap static sanity: every index an op names exists in the
+        // model's declared variable counts.
+        for m in catalogue() {
+            for ops in &m.threads {
+                for op in ops {
+                    match *op {
+                        SyncOp::MutexEnter(i)
+                        | SyncOp::MutexExit(i)
+                        | SyncOp::TryenterElseSkip { mutex: i, .. } => {
+                            assert!(i < m.mutexes, "{}: mutex {i}", m.name)
+                        }
+                        SyncOp::CvWaitOnce { cv, mutex }
+                        | SyncOp::WaitUntilFlag { cv, mutex, .. }
+                        | SyncOp::TimedWaitUntilFlag { cv, mutex, .. } => {
+                            assert!(cv < m.cvs && mutex < m.mutexes, "{}", m.name)
+                        }
+                        SyncOp::CvSignal(i) | SyncOp::CvBroadcast(i) => {
+                            assert!(i < m.cvs, "{}: cv {i}", m.name)
+                        }
+                        SyncOp::SemaP(i) | SyncOp::SemaV(i) => {
+                            assert!(i < m.sema_init.len(), "{}: sema {i}", m.name)
+                        }
+                        SyncOp::RwEnter { rw, .. }
+                        | SyncOp::RwExit(rw)
+                        | SyncOp::RwDowngrade(rw)
+                        | SyncOp::RwTryupgradeOrWrite(rw) => {
+                            assert!(rw < m.rws, "{}: rw {rw}", m.name)
+                        }
+                        SyncOp::Incr(i) | SyncOp::ReadStable(i) => {
+                            assert!(i < m.counters, "{}: counter {i}", m.name)
+                        }
+                        SyncOp::SetFlag(i)
+                        | SyncOp::AssertFlag(i)
+                        | SyncOp::SkipIfFlag { flag: i, .. } => {
+                            assert!(i < m.flags, "{}: flag {i}", m.name)
+                        }
+                        SyncOp::CritEnter(i) | SyncOp::CritExit(i) => {
+                            assert!(i < m.crits, "{}: crit {i}", m.name)
+                        }
+                        SyncOp::Work(_) | SyncOp::AssertTimedOut(_) => {}
+                    }
+                }
+            }
+        }
+    }
+}

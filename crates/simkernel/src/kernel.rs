@@ -131,6 +131,14 @@ impl PartialOrd for QEvent {
     }
 }
 
+/// A pluggable scheduling decision: given the dispatch-ordered runnable
+/// candidates for a free CPU (best first, per `dispatch_key`), returns the
+/// index of the one to place. Installed by schedule-exploration tools
+/// (`sunmt-check`) to drive the kernel through *chosen* interleavings
+/// instead of the default priority order; the kernel clamps out-of-range
+/// answers to the last candidate.
+pub type ScheduleHook = Box<dyn FnMut(&[SimLwpId]) -> usize>;
+
 /// The simulated kernel: processes, LWPs, CPUs, and virtual time.
 pub struct SimKernel {
     cfg: SimConfig,
@@ -147,6 +155,8 @@ pub struct SimKernel {
     next_lwp: u32,
     next_pid: u32,
     enqueue_counter: u64,
+    hook: Option<ScheduleHook>,
+    choice_log: Vec<(u32, u32)>,
 }
 
 impl SimKernel {
@@ -168,7 +178,52 @@ impl SimKernel {
             next_lwp: 1,
             next_pid: 1,
             enqueue_counter: 0,
+            hook: None,
+            choice_log: Vec::new(),
         }
+    }
+
+    /// Installs a schedule hook consulted at every dispatch decision (see
+    /// [`ScheduleHook`]). Replaces any previous hook.
+    pub fn set_schedule_hook(&mut self, hook: ScheduleHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the schedule hook, restoring default dispatch order.
+    pub fn clear_schedule_hook(&mut self) {
+        self.hook = None;
+    }
+
+    /// The schedule choices taken so far, one `(arity, chosen)` entry per
+    /// dispatch decision that had more than one candidate. Decisions with a
+    /// single candidate are forced and therefore not recorded; feeding the
+    /// `chosen` column back through [`SimKernel::set_schedule_replay`] on a
+    /// fresh kernel with the same processes reproduces the run exactly.
+    pub fn schedule_choices(&self) -> &[(u32, u32)] {
+        &self.choice_log
+    }
+
+    /// Clears the recorded schedule choices (e.g. between experiment
+    /// phases on a long-lived kernel).
+    pub fn clear_schedule_choices(&mut self) {
+        self.choice_log.clear();
+    }
+
+    /// Installs a hook that replays a recorded choice sequence: the i-th
+    /// multi-candidate dispatch decision takes `choices[i]`; decisions past
+    /// the end of the recording fall back to default dispatch order. This
+    /// is the deterministic-replay half of schedule exploration: a failing
+    /// schedule printed by `sunmt-check` is just this vector.
+    pub fn set_schedule_replay(&mut self, choices: Vec<u32>) {
+        let mut next = 0usize;
+        self.set_schedule_hook(Box::new(move |cands| {
+            if cands.len() <= 1 {
+                return 0;
+            }
+            let c = choices.get(next).copied().unwrap_or(0) as usize;
+            next += 1;
+            c
+        }));
     }
 
     /// Current virtual time.
@@ -435,6 +490,24 @@ impl SimKernel {
                 })
                 .collect();
             order.sort_by_key(|(_, k)| *k);
+
+            // Schedule-exploration hook: the hook (if any) picks which
+            // candidate to try first; every multi-candidate decision is
+            // logged so the run can be replayed choice-for-choice.
+            if let Some(mut h) = self.hook.take() {
+                let ids: Vec<SimLwpId> = order.iter().map(|(id, _)| *id).collect();
+                let chosen = h(&ids).min(order.len() - 1);
+                self.hook = Some(h);
+                if chosen > 0 {
+                    let e = order.remove(chosen);
+                    order.insert(0, e);
+                }
+                if ids.len() > 1 {
+                    self.choice_log.push((ids.len() as u32, chosen as u32));
+                }
+            } else if order.len() > 1 {
+                self.choice_log.push((order.len() as u32, 0));
+            }
 
             let mut placed = false;
             for (rank, (cand, _)) in order.iter().enumerate() {
@@ -773,6 +846,9 @@ impl SimKernel {
                         KernelRequest::TraceNote(what) => {
                             self.trace
                                 .push(self.now, TraceEvent::UserLevel { lwp, what });
+                        }
+                        KernelRequest::Wake(target) => {
+                            self.post_wakeup(target);
                         }
                     }
                 }
@@ -1512,6 +1588,104 @@ mod tests {
         );
         k.run_until_idle(2_000_000);
         assert!(k.profile_of(l2).is_empty());
+    }
+
+    #[test]
+    fn schedule_hook_overrides_dispatch_order() {
+        let build = |k: &mut SimKernel| {
+            let pid = k.add_process();
+            for _ in 0..2 {
+                k.add_lwp(
+                    pid,
+                    SchedClass::Ts,
+                    LwpProgram::Script(vec![Op::Compute(100), Op::Exit]),
+                );
+            }
+        };
+        let exits = |k: &SimKernel| -> Vec<SimLwpId> {
+            k.trace()
+                .filter(|e| matches!(e, TraceEvent::LwpExit { .. }))
+                .map(|(_, e)| match e {
+                    TraceEvent::LwpExit { lwp } => *lwp,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        // Default order: the earlier-enqueued LWP finishes first.
+        let mut k = kern(1);
+        build(&mut k);
+        k.run_until_idle(1_000_000);
+        assert_eq!(exits(&k), vec![SimLwpId(1), SimLwpId(2)]);
+        // A hook that always picks the *last* candidate flips the order.
+        let mut k = kern(1);
+        build(&mut k);
+        k.set_schedule_hook(Box::new(|c| c.len() - 1));
+        k.run_until_idle(1_000_000);
+        assert_eq!(exits(&k), vec![SimLwpId(2), SimLwpId(1)]);
+    }
+
+    #[test]
+    fn choice_log_replays_a_run_exactly() {
+        let build = |k: &mut SimKernel| {
+            let pid = k.add_process();
+            let m = k.add_kmutex();
+            for i in 0..3 {
+                k.add_lwp(
+                    pid,
+                    SchedClass::Ts,
+                    LwpProgram::Script(vec![
+                        Op::Compute(100 * (i + 1)),
+                        Op::KmutexLock(m),
+                        Op::Compute(500),
+                        Op::KmutexUnlock(m),
+                        Op::Exit,
+                    ]),
+                );
+            }
+        };
+        // Drive a run through an adversarial hook and record its choices.
+        let mut k = kern(1);
+        build(&mut k);
+        k.set_schedule_hook(Box::new(|c| c.len() - 1));
+        k.run_until_idle(1_000_000);
+        let reference = format!("{:?}", k.trace().events());
+        let choices: Vec<u32> = k.schedule_choices().iter().map(|(_, c)| *c).collect();
+        assert!(!choices.is_empty(), "contended run must log choices");
+        // Replaying the chosen column reproduces the identical trace.
+        let mut k2 = kern(1);
+        build(&mut k2);
+        k2.set_schedule_replay(choices);
+        k2.run_until_idle(1_000_000);
+        assert_eq!(format!("{:?}", k2.trace().events()), reference);
+    }
+
+    #[test]
+    fn wake_request_from_dynamic_program_releases_sleeper() {
+        let mut k = kern(1);
+        let pid = k.add_process();
+        let sleeper = k.add_lwp(
+            pid,
+            SchedClass::Ts,
+            LwpProgram::Script(vec![Op::WaitIndefinite, Op::Compute(10), Op::Exit]),
+        );
+        let mut step = 0;
+        k.add_lwp(
+            pid,
+            SchedClass::Ts,
+            LwpProgram::Dynamic(Box::new(move |view| {
+                step += 1;
+                match step {
+                    1 => Op::Compute(50),
+                    2 => {
+                        view.requests.push(KernelRequest::Wake(sleeper));
+                        Op::Compute(5)
+                    }
+                    _ => Op::Exit,
+                }
+            })),
+        );
+        k.run_until_idle(1_000_000);
+        assert_eq!(k.lwp_run_state(sleeper), LwpRunState::Zombie);
     }
 
     #[test]

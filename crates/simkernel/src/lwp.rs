@@ -116,6 +116,11 @@ pub enum KernelRequest {
     },
     /// Record a user-level event in the trace (thread switches etc.).
     TraceNote(String),
+    /// Wake an LWP blocked in an indefinite wait (like
+    /// [`crate::SimKernel::post_wakeup`], but issuable from inside a
+    /// dynamic program — e.g. a modelled `cv_broadcast` releasing several
+    /// sleepers in one step).
+    Wake(SimLwpId),
 }
 
 impl core::fmt::Debug for KernelRequest {
@@ -125,6 +130,7 @@ impl core::fmt::Debug for KernelRequest {
                 f.debug_struct("SpawnLwp").field("class", class).finish()
             }
             KernelRequest::TraceNote(s) => f.debug_tuple("TraceNote").field(s).finish(),
+            KernelRequest::Wake(id) => f.debug_tuple("Wake").field(id).finish(),
         }
     }
 }

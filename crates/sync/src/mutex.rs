@@ -129,7 +129,7 @@ impl Mutex {
                 }
                 core::hint::spin_loop();
                 spins += 1;
-                if spins.is_multiple_of(1024) {
+                if spins % 1024 == 0 {
                     strategy::yield_now();
                 }
             }

@@ -53,9 +53,16 @@ pub struct Event {
 }
 
 /// Aggregate per-tag event totals for one tracing epoch.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Counters {
     counts: [u64; NTAGS],
+}
+
+// `[u64; N]: Default` stops at N = 32, which NTAGS now exceeds.
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters { counts: [0; NTAGS] }
+    }
 }
 
 impl Counters {

@@ -71,10 +71,29 @@ pub enum Tag {
     /// A user-level sleep's deadline expired; the timer LWP made the
     /// thread runnable (`a` = thread id, `b` = wait word).
     SleepTimeout = 28,
+    /// Mutex acquired (`a` = lock id/address, `b` = owner thread id). The
+    /// lockdep-style checker pairs this with [`Tag::MutexRelease`] to build
+    /// lock hold spans and the lock-order graph.
+    MutexAcquire = 29,
+    /// Mutex released (`a` = lock id/address, `b` = former owner).
+    MutexRelease = 30,
+    /// `cv_signal` issued (`a` = cv id/address, `b` = 1 if a waiter was
+    /// present to receive it, 0 if the signal found no waiter).
+    CvSignal = 31,
+    /// `cv_broadcast` issued (`a` = cv id/address, `b` = waiters woken).
+    CvBroadcast = 32,
+    /// Semaphore `v()` posted (`a` = sema id/address, `b` = new count).
+    SemaPost = 33,
+    /// Readers/writer lock acquired (`a` = lock id/address, `b` = 0 reader
+    /// / 1 writer / 2 via downgrade / 3 via tryupgrade).
+    RwAcquire = 34,
+    /// Readers/writer lock released (`a` = lock id/address, `b` = 0 reader
+    /// / 1 writer).
+    RwRelease = 35,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 29;
+pub const NTAGS: usize = 36;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -108,6 +127,13 @@ impl Tag {
         Tag::IoUnpark,
         Tag::IoTimeout,
         Tag::SleepTimeout,
+        Tag::MutexAcquire,
+        Tag::MutexRelease,
+        Tag::CvSignal,
+        Tag::CvBroadcast,
+        Tag::SemaPost,
+        Tag::RwAcquire,
+        Tag::RwRelease,
     ];
 
     /// Decodes a stored discriminant.
@@ -147,6 +173,13 @@ impl Tag {
             Tag::IoUnpark => "io-unpark",
             Tag::IoTimeout => "io-timeout",
             Tag::SleepTimeout => "sleep-timeout",
+            Tag::MutexAcquire => "mutex-acquire",
+            Tag::MutexRelease => "mutex-release",
+            Tag::CvSignal => "cv-signal",
+            Tag::CvBroadcast => "cv-broadcast",
+            Tag::SemaPost => "sema-post",
+            Tag::RwAcquire => "rw-acquire",
+            Tag::RwRelease => "rw-release",
         }
     }
 }

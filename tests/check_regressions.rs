@@ -1,0 +1,90 @@
+//! The seeded regression corpus for the schedule-exploration checker.
+//!
+//! Each entry is a schedule string that `sunmt-check` printed during
+//! development — harvested from real exhaustive-DFS and PCT-fuzz runs —
+//! committed so the exact interleaving replays deterministically forever.
+//! If a model, the micro-step machines, or the simkernel's dispatch
+//! placement ever changes behaviour, these replays are the first thing
+//! that notices: a corpus entry either stops producing its recorded
+//! outcome or stops being replayable at all.
+//!
+//! Harvest new entries with `cargo run -p sunmt-check -- run` (failures
+//! print `FAILING SCHEDULE: v1/...`) and verify them with
+//! `cargo run -p sunmt-check -- replay <string>` before committing.
+
+use sunmt_check::{models, replay, ScheduleString};
+
+/// `(schedule string, substring the classified failure must contain;
+/// empty string = the run must pass)`.
+const CORPUS: &[(&str, &str)] = &[
+    // The check-then-wait race: the consumer tests the flag outside the
+    // mutex, the producer's signal lands while nobody waits, and the
+    // consumer sleeps forever. Found by the exhaustive sweep.
+    ("v1/neg_lost_wakeup/default/1.0.1.1.1", "lost wakeup"),
+    // Same interleaving under the kernel-visible SYNC_SHARED parking.
+    ("v1/neg_lost_wakeup/shared/1.0.1.1.1", "lost wakeup"),
+    // AB-BA: both threads get their first lock, then both park on the
+    // other's. Found by the exhaustive sweep.
+    ("v1/neg_lock_cycle/default/1.0.0.0.1.1.1", "deadlock"),
+    ("v1/neg_lock_cycle/shared/1.0.0.0.1.1.1", "deadlock"),
+    // DEBUG-variant misuse models fail on every schedule, including the
+    // empty (serial) one.
+    ("v1/neg_debug_recursive/debug/-", "recursive"),
+    ("v1/neg_debug_unlock/debug/-", "non-owner"),
+    // Adversarial passing schedules: maximal alternation through the
+    // mutex fast/slow paths, the cv consumer-first handoff, and the
+    // tryupgrade race (one upgrades, the loser falls back to a write
+    // enter) must all stay correct.
+    ("v1/mutex_basic/default/1.1.1.1.1.1.1.1.1", ""),
+    ("v1/cv_pingpong/shared/1.1.0.1", ""),
+    ("v1/rw_tryupgrade/default/1.1.1.1.1", ""),
+];
+
+#[test]
+fn corpus_replays_to_recorded_outcomes() {
+    let catalogue = models::catalogue();
+    for (s, needle) in CORPUS {
+        let sched = ScheduleString::parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        let out = replay(&catalogue, &sched).unwrap_or_else(|e| panic!("{s}: {e}"));
+        match (needle.is_empty(), &out.failure) {
+            (true, None) => {}
+            (false, Some(msg)) if msg.contains(needle) => {}
+            (_, got) => panic!("{s}: expected {needle:?}, got {got:?}"),
+        }
+    }
+}
+
+#[test]
+fn corpus_replays_are_deterministic() {
+    // Replaying twice gives byte-identical choices and event logs —
+    // the property that makes a printed schedule string a bug report.
+    let catalogue = models::catalogue();
+    for (s, _) in CORPUS {
+        let sched = ScheduleString::parse(s).unwrap();
+        let a = replay(&catalogue, &sched).unwrap();
+        let b = replay(&catalogue, &sched).unwrap();
+        assert_eq!(a.taken, b.taken, "{s}");
+        assert_eq!(a.failure, b.failure, "{s}");
+        assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events), "{s}");
+    }
+}
+
+#[test]
+fn corpus_strings_round_trip_their_schedules() {
+    // A failure found live must print a string that parses back to the
+    // same choices the run took (taken[..] extends or equals the forced
+    // prefix once the run ends).
+    let catalogue = models::catalogue();
+    for (s, _) in CORPUS {
+        let sched = ScheduleString::parse(s).unwrap();
+        let out = replay(&catalogue, &sched).unwrap();
+        let reprinted = ScheduleString {
+            model: sched.model.clone(),
+            variant: sched.variant,
+            choices: out.taken.clone(),
+        };
+        let again = replay(&catalogue, &reprinted).unwrap();
+        assert_eq!(out.taken, again.taken, "{s}");
+        assert_eq!(out.failure, again.failure, "{s}");
+    }
+}
