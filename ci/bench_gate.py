@@ -1,14 +1,28 @@
 #!/usr/bin/env python3
-"""CI gate on the ABL-IO LWP-multiplexing ratio.
+"""CI perf-regression gate over the committed BENCH_*.json artifacts.
 
-Compares a freshly generated BENCH_io.json against the committed one and
-fails if `lwp_ratio` (bound LWPs / M:N LWPs in the window-server
-workload — the paper's headline "fewer kernel resources" claim)
-regresses below the committed value. The ratio is structural (it counts
-LWPs, not time), so it is deterministic and gated exactly, with no noise
-tolerance.
+One table drives every gate: each row names a committed benchmark JSON,
+a metric regex looked up in its `notes`, a direction, a baseline (the
+committed file's own value, or an absolute floor), and a tolerance.
+The CI bench job regenerates `<name>.fresh.json` next to each committed
+file and this script compares them all, printing one PASS/FAIL line per
+gate and failing with every violated gate listed — never just the first.
 
-Usage: ci/bench_gate.py <committed BENCH_io.json> <fresh json>
+Gated metrics:
+
+* `BENCH_io.json` / `lwp_ratio` — bound LWPs per M:N LWP in the
+  window-server workload (the paper's "fewer kernel resources" claim).
+  Structural count, deterministic, gated exactly against the committed
+  value.
+* `BENCH_sched.json` / `sharded_speedup_4lwp` — virtual-time dispatch
+  makespan of the global run queue over the sharded one at 4 LWPs.
+  Deterministic simulation, gated against an absolute floor of 1.5x:
+  sharding must beat the single-lock dispatcher by at least that much.
+* `BENCH_check.json` / `schedules_per_sec` — aggregate throughput of
+  the model-checking sweep. Wall-clock on a shared runner, so it gets a
+  wide tolerance: fresh must stay within 4x of the committed rate.
+
+Usage: ci/bench_gate.py [repo-root]
 """
 
 import json
@@ -16,28 +30,81 @@ import re
 import sys
 
 
-def lwp_ratio(path):
-    with open(path) as f:
-        notes = " ".join(json.load(f)["notes"])
-    m = re.search(r"lwp_ratio=([0-9.]+)", notes)
+class Gate:
+    def __init__(self, bench, metric, floor=None, tolerance=0.0, why=""):
+        self.bench = bench  # committed file name, e.g. BENCH_io.json
+        self.metric = metric  # note key, matched as `<metric>=<float>`
+        self.floor = floor  # absolute floor; None = use committed value
+        self.tolerance = tolerance  # fraction the fresh value may fall short
+        self.why = why  # one-line consequence printed on failure
+
+
+GATES = [
+    Gate(
+        "BENCH_io.json",
+        "lwp_ratio",
+        tolerance=0.0,
+        why="the M:N pool is using more LWPs relative to bound threads",
+    ),
+    Gate(
+        "BENCH_sched.json",
+        "sharded_speedup_4lwp",
+        floor=1.5,
+        tolerance=0.0,
+        why="sharded run queues no longer beat the global dispatcher lock",
+    ),
+    Gate(
+        "BENCH_check.json",
+        "schedules_per_sec",
+        tolerance=0.75,
+        why="the schedule-exploration checker got dramatically slower",
+    ),
+]
+
+
+def metric_from(path, metric):
+    try:
+        with open(path) as f:
+            notes = " ".join(json.load(f)["notes"])
+    except OSError as e:
+        sys.exit(f"FAIL {path}: {e}")
+    m = re.search(rf"{re.escape(metric)}=([0-9.]+)", notes)
     if not m:
-        sys.exit(f"{path}: no lwp_ratio in notes: {notes!r}")
+        sys.exit(f"FAIL {path}: no {metric} in notes: {notes!r}")
     return float(m.group(1))
 
 
+def run_gate(root, gate):
+    """Returns None on pass, or the one-line failure description."""
+    committed = f"{root}/{gate.bench}"
+    fresh = committed.replace(".json", ".fresh.json")
+    baseline = gate.floor if gate.floor is not None else metric_from(committed, gate.metric)
+    value = metric_from(fresh, gate.metric)
+    need = baseline * (1.0 - gate.tolerance)
+    kind = "floor" if gate.floor is not None else "committed"
+    verdict = "PASS" if value >= need else "FAIL"
+    print(
+        f"{verdict} {gate.bench} {gate.metric}: fresh={value:.2f} "
+        f"{kind}={baseline:.2f} required>={need:.2f}"
+    )
+    if value >= need:
+        return None
+    return (
+        f"{gate.bench}: {gate.metric} fell to {value:.2f} "
+        f"(required >= {need:.2f}) — {gate.why}"
+    )
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) > 2:
         sys.exit(__doc__.strip())
-    committed_path, fresh_path = sys.argv[1], sys.argv[2]
-    committed = lwp_ratio(committed_path)
-    fresh = lwp_ratio(fresh_path)
-    print(f"lwp_ratio: committed={committed:.2f} fresh={fresh:.2f}")
-    if fresh < committed:
-        sys.exit(
-            f"REGRESSION: lwp_ratio fell from {committed:.2f} to {fresh:.2f} "
-            f"— the M:N pool is using more LWPs relative to bound threads"
-        )
-    print("bench gate OK")
+    root = sys.argv[1] if len(sys.argv) == 2 else "."
+    failures = [f for g in GATES if (f := run_gate(root, g)) is not None]
+    for f in failures:
+        print(f"REGRESSION: {f}")
+    if failures:
+        sys.exit(f"bench gate: {len(failures)} of {len(GATES)} gates violated")
+    print(f"bench gate OK ({len(GATES)} gates)")
 
 
 if __name__ == "__main__":

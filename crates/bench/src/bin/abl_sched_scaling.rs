@@ -1,0 +1,341 @@
+//! ABL-SCHED — per-LWP run queues vs the global run queue.
+//!
+//! The paper's dispatcher serializes every thread dispatch on one run
+//! queue; this ablation measures what sharding that queue buys. Three
+//! sections, one table:
+//!
+//! 1. **Virtual-time dispatch scaling (the gated rows).** A deterministic
+//!    discrete-event simulation of 1/2/4/8 LWPs dispatching a fixed batch
+//!    of work items, where every locked queue operation serializes in
+//!    virtual time on the lock it takes — one global lock for the
+//!    baseline, per-shard locks plus an injection lock for the sharded
+//!    protocol (own pop → injection → steal scan, round-robin cross
+//!    pushes, every 16th push injected). The host's core count cannot
+//!    distort virtual time, so the `sharded_speedup_4lwp` note is stable
+//!    enough for CI to gate (floor: 1.5x).
+//! 2. **Real-structure wall clock.** The actual `sunmt::runq` types —
+//!    `Mutex<RunQueue>` vs `ShardedRunQueue` — hammered by 4 OS threads,
+//!    with the structure's own steal/inject counters reported. Wall-clock
+//!    numbers depend on host parallelism, so these rows inform but are
+//!    not gated.
+//! 3. **Library create throughput.** Unbound create+join through the real
+//!    scheduler, with the dispatch-path steal/inject counters from
+//!    `sunmt::stats()` showing the sharded run queue live.
+//!
+//! `--smoke` shrinks the budgets for CI; `--json PATH` writes the
+//! machine-readable table (committed as `BENCH_sched.json`).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sunmt::runq::{RunQueue, ShardedRunQueue};
+use sunmt::{CreateFlags, ThreadBuilder};
+use sunmt_bench::PaperTable;
+
+/// Virtual microseconds one locked queue operation (push or pop) holds
+/// its lock in the simulation.
+const QUEUE_OP_US: u64 = 2;
+
+/// Virtual microseconds of thread execution per dispatched item (runs
+/// lock-free, in parallel across LWPs).
+const WORK_US: u64 = 4;
+
+/// Every Nth push goes through the injection queue (a wakeup from a
+/// non-LWP context).
+const INJECT_EVERY: u64 = 16;
+
+/// Every Nth push lands on the next shard round-robin instead of the
+/// pusher's own — the imbalance that forces the steal path.
+const CROSS_EVERY: u64 = 4;
+
+/// A virtual-time lock: acquisitions serialize, each holding for `cost`.
+#[derive(Clone, Copy, Default)]
+struct VLock {
+    free_at: u64,
+}
+
+impl VLock {
+    /// Acquire at `now`, hold for `cost`; returns the release time.
+    fn acquire(&mut self, now: u64, cost: u64) -> u64 {
+        let done = now.max(self.free_at) + cost;
+        self.free_at = done;
+        done
+    }
+}
+
+struct SimOutcome {
+    makespan: u64,
+    steals: u64,
+    injects: u64,
+}
+
+/// Runs the dispatch simulation: each of `lwps` LWPs pushes and then
+/// dispatches `quota` items. `sharded` selects per-shard locks + the
+/// sharded pop protocol; otherwise every queue operation takes one
+/// global lock.
+fn simulate(lwps: usize, quota: u64, sharded: bool) -> SimOutcome {
+    let nshards = if sharded { lwps } else { 1 };
+    let mut shards: Vec<VecDeque<u64>> = vec![VecDeque::new(); nshards];
+    let mut inject: VecDeque<u64> = VecDeque::new();
+    let mut shard_locks = vec![VLock::default(); nshards];
+    let mut inject_lock = VLock::default();
+    let mut global_lock = VLock::default();
+
+    // Per-LWP state: current virtual time, pushes and pops completed.
+    let mut now = vec![0u64; lwps];
+    let mut pushed = vec![0u64; lwps];
+    let mut popped = vec![0u64; lwps];
+    let mut next_id = 0u64;
+    let mut steals = 0u64;
+    let mut injects = 0u64;
+
+    // Discrete-event loop: always advance the LWP furthest behind in
+    // virtual time, one queue operation or work slice at a time. An
+    // LWP alternates push and pop until both quotas are spent, so the
+    // batch always drains (total pushes == total pops).
+    while let Some(l) = (0..lwps)
+        .filter(|&l| popped[l] < quota)
+        .min_by_key(|&l| (now[l], l))
+    {
+        if pushed[l] == popped[l] {
+            // Push one item: pick the destination, pay its lock.
+            let id = next_id;
+            next_id += 1;
+            let n = pushed[l];
+            pushed[l] += 1;
+            if n % INJECT_EVERY == INJECT_EVERY - 1 {
+                injects += 1;
+                inject.push_back(id);
+                now[l] = if sharded {
+                    inject_lock.acquire(now[l], QUEUE_OP_US)
+                } else {
+                    global_lock.acquire(now[l], QUEUE_OP_US)
+                };
+            } else {
+                let dest = if sharded && n % CROSS_EVERY == CROSS_EVERY - 1 {
+                    (l + 1) % nshards
+                } else if sharded {
+                    l
+                } else {
+                    0
+                };
+                shards[dest].push_back(id);
+                now[l] = if sharded {
+                    shard_locks[dest].acquire(now[l], QUEUE_OP_US)
+                } else {
+                    global_lock.acquire(now[l], QUEUE_OP_US)
+                };
+            }
+            continue;
+        }
+        // Dispatch one item: own shard, then injection, then steal.
+        let me = if sharded { l } else { 0 };
+        let mut got = false;
+        if shards[me].pop_front().is_some() {
+            now[l] = if sharded {
+                shard_locks[me].acquire(now[l], QUEUE_OP_US)
+            } else {
+                global_lock.acquire(now[l], QUEUE_OP_US)
+            };
+            got = true;
+        } else if inject.pop_front().is_some() {
+            now[l] = if sharded {
+                inject_lock.acquire(now[l], QUEUE_OP_US)
+            } else {
+                global_lock.acquire(now[l], QUEUE_OP_US)
+            };
+            got = true;
+        } else if sharded {
+            for v in 0..nshards {
+                if v == me {
+                    continue;
+                }
+                if shards[v].pop_front().is_some() {
+                    now[l] = shard_locks[v].acquire(now[l], QUEUE_OP_US);
+                    steals += 1;
+                    got = true;
+                    break;
+                }
+            }
+        }
+        if got {
+            popped[l] += 1;
+            now[l] += WORK_US;
+        } else {
+            // Nothing anywhere: another LWP's push is still in flight in
+            // virtual time; idle-poll one microsecond and rescan.
+            now[l] += 1;
+        }
+    }
+    SimOutcome {
+        makespan: now.iter().copied().max().unwrap_or(0),
+        steals,
+        injects,
+    }
+}
+
+/// Wall-clock hammer on the real global structure: `workers` OS threads
+/// each doing `ops` push+pop pairs against one `Mutex<RunQueue>`.
+/// Returns microseconds per pair.
+fn wall_global(workers: usize, ops: u64) -> f64 {
+    let q: Arc<Mutex<RunQueue<(i32, u64)>>> = Arc::new(Mutex::new(RunQueue::new()));
+    let start = Instant::now();
+    let hs: Vec<_> = (0..workers)
+        .map(|w| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..ops {
+                    let item = ((i % 8) as i32, ((w as u64) << 32) | i);
+                    q.lock().unwrap().push(item);
+                    q.lock().unwrap().pop();
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().expect("worker");
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (workers as u64 * ops) as f64
+}
+
+/// Same hammer on the real `ShardedRunQueue`, each worker on its own
+/// home shard with the bench's inject/cross pattern so the steal and
+/// injection paths actually run. Returns (us per pair, steals, injects).
+fn wall_sharded(workers: usize, ops: u64) -> (f64, u64, u64) {
+    let q: Arc<ShardedRunQueue<(i32, u64)>> = Arc::new(ShardedRunQueue::new(workers));
+    let start = Instant::now();
+    let hs: Vec<_> = (0..workers)
+        .map(|w| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let me = q.assign_shard();
+                for i in 0..ops {
+                    let item = ((i % 8) as i32, ((w as u64) << 32) | i);
+                    if i % INJECT_EVERY == INJECT_EVERY - 1 {
+                        q.push_inject(item);
+                    } else if i % CROSS_EVERY == CROSS_EVERY - 1 {
+                        q.push((me + 1) % q.num_shards(), item);
+                    } else {
+                        q.push(me, item);
+                    }
+                    q.pop(me);
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().expect("worker");
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / (workers as u64 * ops) as f64;
+    (us, q.steal_count(), q.inject_count())
+}
+
+/// Unbound create+join throughput through the real scheduler.
+fn library_create(batch: usize, batches: usize) -> f64 {
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(batch);
+    for _ in 0..batches {
+        for _ in 0..batch {
+            ids.push(
+                ThreadBuilder::new()
+                    .flags(CreateFlags::WAIT)
+                    .spawn(|| {})
+                    .expect("spawn"),
+            );
+        }
+        for id in ids.drain(..) {
+            sunmt::wait(Some(id)).expect("wait");
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (batch * batches) as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let quota: u64 = if smoke { 5_000 } else { 20_000 };
+    let wall_ops: u64 = if smoke { 50_000 } else { 200_000 };
+    let (create_batch, create_batches) = if smoke { (64, 4) } else { (128, 16) };
+
+    let mut t = PaperTable::new(
+        "Ablation: sharded run queues — dispatch makespan vs a global queue \
+         (virtual us; wall-clock and library context below)",
+    );
+
+    // 1. Virtual-time dispatch scaling.
+    let mut sim = Vec::new();
+    for lwps in [1usize, 2, 4, 8] {
+        let g = simulate(lwps, quota, false);
+        let s = simulate(lwps, quota, true);
+        t.row(format!("global dispatch, {lwps} LWP(s)"), g.makespan as f64);
+        t.row(
+            format!("sharded dispatch, {lwps} LWP(s)"),
+            s.makespan as f64,
+        );
+        sim.push((lwps, g, s));
+    }
+    t.note(format!(
+        "sim: items_per_lwp={quota} queue_op_us={QUEUE_OP_US} work_us={WORK_US} \
+         inject_every={INJECT_EVERY} cross_every={CROSS_EVERY}"
+    ));
+    let (g4, s4) = sim
+        .iter()
+        .find(|(l, _, _)| *l == 4)
+        .map(|(_, g, s)| (g, s))
+        .expect("4-LWP row");
+    let speedup4 = g4.makespan as f64 / s4.makespan as f64;
+    t.note(format!("sharded_speedup_4lwp={speedup4:.2}"));
+    t.note(format!(
+        "sim steals/injects at 4 LWPs: steals_4lwp={} injects_4lwp={}",
+        s4.steals, s4.injects
+    ));
+
+    // 2. Real structures under wall clock.
+    let wg = wall_global(4, wall_ops);
+    let (ws, wsteals, winjects) = wall_sharded(4, wall_ops);
+    t.row("global queue, 4 workers (wall us/op)", wg);
+    t.row("sharded queue, 4 workers (wall us/op)", ws);
+    t.note(format!(
+        "wall 4 workers: ops_per_worker={wall_ops} steals={wsteals} injects={winjects} \
+         (host-dependent; not gated)"
+    ));
+
+    // 3. The real library's create path, with the dispatch-path counters.
+    sunmt::init();
+    let before = sunmt::stats();
+    let create_us = library_create(create_batch, create_batches);
+    let after = sunmt::stats();
+    t.row("library create+join (us/thread)", create_us);
+    t.note(format!(
+        "library: threads={} dispatch_steals={} dispatch_injects={}",
+        create_batch * create_batches,
+        after.steals - before.steals,
+        after.injects - before.injects
+    ));
+
+    t.print();
+    if let Err(e) = t.write_json_if_requested("abl_sched", std::env::args()) {
+        eprintln!("abl_sched_scaling: {e}");
+        std::process::exit(2);
+    }
+
+    // Shape checks: sharding must never lose in virtual time, must win
+    // convincingly once dispatch contends at 4 LWPs, and the steal path
+    // must actually have run (both in the sim and the real structure).
+    for (lwps, g, s) in &sim {
+        assert!(
+            s.makespan <= g.makespan,
+            "sharded slower than global at {lwps} LWPs: {} vs {}",
+            s.makespan,
+            g.makespan
+        );
+        assert!(*lwps < 2 || s.injects > 0, "injection path never ran");
+    }
+    assert!(
+        speedup4 >= 1.5,
+        "sharded dispatch speedup at 4 LWPs below the floor: {speedup4:.2}"
+    );
+    assert!(s4.steals > 0, "sim steal path never ran at 4 LWPs");
+    assert!(wsteals > 0, "real ShardedRunQueue recorded no steals");
+    println!("\nshape check: OK (sharded >= global everywhere, {speedup4:.2}x at 4 LWPs, steals observed)");
+}

@@ -197,6 +197,7 @@ mod tests {
             counters: 1,
             flags: 0,
             crits: 0,
+            runq_shards: 0,
             final_counters: vec![(0, 2)],
             expect: Expect::FailContaining("counter"),
             min_schedules: 0,

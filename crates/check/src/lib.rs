@@ -13,10 +13,13 @@
 //! The pieces:
 //!
 //! * [`model`] — micro-step models of `mutex_enter/exit/tryenter`,
-//!   `cv_wait/timedwait/signal/broadcast`, `sema_p/v`, and
-//!   `rw_enter/exit/downgrade/tryupgrade`, across the paper's
+//!   `cv_wait/timedwait/signal/broadcast`, `sema_p/v`,
+//!   `rw_enter/exit/downgrade/tryupgrade`, the adaptive `mutex_enter`
+//!   spin/park decision, and the sharded run-queue handoff (owner pop,
+//!   steal, injection, idle park/wake), across the paper's
 //!   initialization variants (default, `DEBUG`, `SYNC_SHARED`), with
-//!   assertion oracles (mutual exclusion, lost updates, torn reads).
+//!   assertion oracles (mutual exclusion, lost updates, torn reads, and
+//!   no-loss / no-double-dispatch handoff integrity).
 //! * [`models`] — the catalogue: positive models that must pass under
 //!   *every* schedule, and negative models seeding a real lost wakeup,
 //!   lock-order cycle, or `DEBUG` misuse the checker must find.

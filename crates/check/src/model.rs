@@ -37,6 +37,12 @@ use sunmt_trace::Tag;
 /// Micro-steps one run may execute before the checker declares a livelock.
 const STEP_BUDGET: u64 = 100_000;
 
+/// Spin iterations the adaptive `mutex_enter` model allows before it falls
+/// back to the park path. Tiny compared to the library's real cap: each
+/// spin is a scheduling point, and three of them already expose every
+/// spin/release/park interleaving the explorer needs.
+const ADAPTIVE_MODEL_SPINS: u64 = 3;
+
 /// Which implementation variant of the suite a run models (the paper's
 /// initialization-time variants: default, `DEBUG`, and `SYNC_SHARED`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -168,6 +174,34 @@ pub enum SyncOp {
     CritEnter(usize),
     /// Leave the critical-section oracle.
     CritExit(usize),
+    /// Adaptive `mutex_enter`: spin while the owner is running, then fall
+    /// back to the park path (read / CAS / spin / check-then-park).
+    MutexEnterAdaptive(usize),
+    /// Push one fresh work item onto runq shard `shard`, then wake one
+    /// parked dispatcher — publish and wake are separate steps, the real
+    /// store-then-unpark ordering whose window the dispatchers' atomic
+    /// check-then-park must tolerate.
+    RunqPush {
+        /// Destination shard.
+        shard: usize,
+    },
+    /// Push one fresh work item onto the runq injection queue (a wakeup
+    /// arriving from a non-LWP context), then wake one parked dispatcher.
+    RunqInjectPush,
+    /// Dispatch exactly one item: own shard, then injection, then a steal
+    /// scan — each probe its own scheduling point, each take atomic (the
+    /// shard lock); parks when everything is empty.
+    RunqPop {
+        /// The dispatcher's home shard.
+        shard: usize,
+    },
+    /// The seeded bug: steal from `victim` by *peeking* its head and
+    /// removing it in a second, separate step — the race a per-shard lock
+    /// exists to prevent. Two racing thieves dispatch the same item.
+    RunqStealRacy {
+        /// The shard robbed without holding its lock.
+        victim: usize,
+    },
 }
 
 /// What the explorer expects from a model.
@@ -202,6 +236,10 @@ pub struct Model {
     pub flags: usize,
     /// Number of critical-section oracles.
     pub crits: usize,
+    /// Number of run-queue shards (0 = no run queue modelled). When
+    /// non-zero the final-state oracle requires every pushed item to have
+    /// been dispatched exactly once and every queue to drain.
+    pub runq_shards: usize,
     /// Expected final counter values, checked after all threads exit.
     pub final_counters: Vec<(usize, u64)>,
     /// What the explorer should find.
@@ -276,6 +314,20 @@ impl RwSt {
     }
 }
 
+/// The modelled sharded run queue: per-shard FIFOs, an injection queue,
+/// and the parked dispatchers a push must wake. Items are plain ids; the
+/// oracle is handoff integrity, not item behaviour.
+struct RunqSt {
+    shards: Vec<VecDeque<u64>>,
+    inject: VecDeque<u64>,
+    /// Parked dispatchers: `(thread, resume_micro)`.
+    waiters: VecDeque<(usize, u32)>,
+    /// Items created so far (the next item's id).
+    pushed: u64,
+    /// Every id dispatched, in order — duplicates convict the handoff.
+    dispatched: Vec<u64>,
+}
+
 struct ThreadSt {
     ops: Vec<SyncOp>,
     pc: usize,
@@ -297,6 +349,8 @@ pub enum BlockedOn {
     Sema(usize),
     /// Parked on a readers/writer lock.
     Rw(usize),
+    /// An idle run-queue dispatcher parked waiting for work.
+    Runq,
 }
 
 /// What a micro-step asks the kernel to do next.
@@ -316,6 +370,7 @@ pub struct World {
     counters: Vec<u64>,
     flags: Vec<bool>,
     crit: Vec<Option<usize>>,
+    runq: RunqSt,
     threads: Vec<ThreadSt>,
     /// Thread index -> simkernel LWP id (filled at setup).
     lwp_ids: Vec<SimLwpId>,
@@ -360,6 +415,13 @@ impl World {
             counters: vec![0; model.counters],
             flags: vec![false; model.flags],
             crit: vec![None; model.crits],
+            runq: RunqSt {
+                shards: vec![VecDeque::new(); model.runq_shards],
+                inject: VecDeque::new(),
+                waiters: VecDeque::new(),
+                pushed: 0,
+                dispatched: Vec::new(),
+            },
             threads: model
                 .threads
                 .iter()
@@ -414,6 +476,13 @@ impl World {
                         .iter()
                         .position(|r| r.waiters.iter().any(|(w, _, _)| *w == t))
                         .map(BlockedOn::Rw)
+                })
+                .or_else(|| {
+                    self.runq
+                        .waiters
+                        .iter()
+                        .any(|(w, _)| *w == t)
+                        .then_some(BlockedOn::Runq)
                 });
             if let Some(on) = on {
                 out.push((t, on));
@@ -770,6 +839,11 @@ impl World {
                 self.advance(t);
                 NextStep::Yield
             }
+            SyncOp::MutexEnterAdaptive(m) => self.mutex_enter_adaptive_machine(t, m),
+            SyncOp::RunqPush { shard } => self.runq_push_machine(t, Some(shard), wakes),
+            SyncOp::RunqInjectPush => self.runq_push_machine(t, None, wakes),
+            SyncOp::RunqPop { shard } => self.runq_pop_machine(t, shard),
+            SyncOp::RunqStealRacy { victim } => self.runq_racy_steal_machine(t, victim),
         }
     }
 
@@ -996,6 +1070,239 @@ impl World {
             }
         }
     }
+
+    /// The adaptive `mutex_enter` machine. Micro-states: `0` read the
+    /// word and pick a path, `1` CAS, `2` spin (bounded, only while the
+    /// owner is running), `3` atomic check-then-park.
+    ///
+    /// "Owner running" in the model means the owning thread is neither
+    /// parked nor done — the discrete analogue of the library's owner-LWP
+    /// hint. A spinner re-checks it every iteration, so an owner that
+    /// blocks mid-hold flips the spinner onto the park path; the hard
+    /// [`ADAPTIVE_MODEL_SPINS`] cap bounds the schedule tree the same way
+    /// the library's spin cap bounds wasted cycles. A parked waiter
+    /// resumes at micro 0 and re-runs the whole decision.
+    fn mutex_enter_adaptive_machine(&mut self, t: usize, m: usize) -> NextStep {
+        match self.threads[t].micro {
+            0 => {
+                if self.variant == Variant::Debug && self.mutexes[m].owner == Some(t) {
+                    self.fail(t, format!("DEBUG: recursive mutex_enter of mutex {m}"));
+                    return NextStep::Yield;
+                }
+                if self.mutexes[m].word == 0 {
+                    self.threads[t].micro = 1;
+                } else if self.owner_running(m) {
+                    self.threads[t].scratch = 0;
+                    self.threads[t].micro = 2;
+                } else {
+                    self.threads[t].micro = 3;
+                }
+                NextStep::Yield
+            }
+            1 => {
+                if self.mutexes[m].word == 0 {
+                    self.mutexes[m].word = 1;
+                    self.mutexes[m].owner = Some(t);
+                    self.push_event(t, Tag::MutexAcquire, m as u64, t as u64);
+                    self.advance(t);
+                } else {
+                    // Lost the CAS: re-read and decide spin-vs-park again.
+                    self.threads[t].micro = 0;
+                }
+                NextStep::Yield
+            }
+            2 => {
+                let spins = self.threads[t].scratch;
+                self.push_event(t, Tag::MutexSpin, m as u64, spins);
+                if self.mutexes[m].word == 0 {
+                    self.threads[t].micro = 1;
+                } else if spins + 1 >= ADAPTIVE_MODEL_SPINS || !self.owner_running(m) {
+                    self.threads[t].micro = 3;
+                } else {
+                    self.threads[t].scratch = spins + 1;
+                }
+                NextStep::Yield
+            }
+            _ => {
+                if self.mutexes[m].word == 0 {
+                    self.threads[t].micro = 0;
+                    NextStep::Yield
+                } else {
+                    self.mutexes[m].word = 2;
+                    self.push_event(t, Tag::MutexBlock, m as u64, 0);
+                    self.mutexes[m].waiters.push_back((t, 0));
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+
+    /// Whether mutex `m`'s owner would publish a "running" hint: it
+    /// exists and is neither parked nor done.
+    fn owner_running(&self, m: usize) -> bool {
+        self.mutexes[m]
+            .owner
+            .is_some_and(|o| !self.threads[o].parked && !self.threads[o].done)
+    }
+
+    // -----------------------------------------------------------------
+    // The sharded run-queue machines. The modelled protocol matches the
+    // library: pushers publish first and wake an idle dispatcher second;
+    // dispatchers probe own shard / injection / steal victims in separate
+    // steps, and the final park atomically re-checks everything (the
+    // idle-list-then-recheck dance the real dispatcher does before its
+    // futex wait). Each *take* from a queue is one atomic micro-step —
+    // that is the per-shard lock.
+
+    /// Take an id out of the dispatched set's future: fails the run when
+    /// the same item is dispatched twice (the handoff integrity oracle).
+    fn runq_dispatch(&mut self, t: usize, id: u64, stolen_from: Option<usize>) {
+        if let Some(v) = stolen_from {
+            self.push_event(t, Tag::RunqSteal, id, v as u64);
+        }
+        if self.runq.dispatched.contains(&id) {
+            self.fail(t, format!("runq item {id} dispatched twice"));
+            return;
+        }
+        self.runq.dispatched.push(id);
+    }
+
+    /// `RunqPush` / `RunqInjectPush`: micro 0 publishes the item (and
+    /// decides whether a wake is owed), micro 1 wakes one parked
+    /// dispatcher. A dispatcher that parks *between* the two micro-steps
+    /// is still safe: its park re-checked the queues and saw this item.
+    fn runq_push_machine(
+        &mut self,
+        t: usize,
+        shard: Option<usize>,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        if self.threads[t].micro == 0 {
+            let id = self.runq.pushed;
+            self.runq.pushed += 1;
+            match shard {
+                Some(s) => self.runq.shards[s].push_back(id),
+                None => {
+                    self.runq.inject.push_back(id);
+                    self.push_event(t, Tag::RunqInject, id, 0);
+                }
+            }
+            if self.runq.waiters.is_empty() {
+                self.advance(t);
+            } else {
+                self.threads[t].micro = 1;
+            }
+        } else {
+            if let Some((w, resume)) = self.runq.waiters.pop_front() {
+                self.wake(w, resume, wakes);
+            }
+            self.advance(t);
+        }
+        NextStep::Yield
+    }
+
+    /// One atomic scan in dispatch order: own shard, injection queue,
+    /// then the first non-empty victim. Returns the item and where it
+    /// was stolen from, if anywhere.
+    fn runq_scan(&mut self, shard: usize) -> Option<(u64, Option<usize>)> {
+        if let Some(id) = self.runq.shards[shard].pop_front() {
+            return Some((id, None));
+        }
+        if let Some(id) = self.runq.inject.pop_front() {
+            return Some((id, None));
+        }
+        for v in 0..self.runq.shards.len() {
+            if v == shard {
+                continue;
+            }
+            if let Some(id) = self.runq.shards[v].pop_front() {
+                return Some((id, Some(v)));
+            }
+        }
+        None
+    }
+
+    /// `RunqPop`: micro 0 probes the own shard, 1 the injection queue,
+    /// 2 runs the steal scan, 3 atomically re-checks everything and
+    /// parks. Consumes exactly one item before advancing.
+    fn runq_pop_machine(&mut self, t: usize, shard: usize) -> NextStep {
+        match self.threads[t].micro {
+            0 => {
+                if let Some(id) = self.runq.shards[shard].pop_front() {
+                    self.runq_dispatch(t, id, None);
+                    self.advance(t);
+                } else {
+                    self.threads[t].micro = 1;
+                }
+                NextStep::Yield
+            }
+            1 => {
+                if let Some(id) = self.runq.inject.pop_front() {
+                    self.runq_dispatch(t, id, None);
+                    self.advance(t);
+                } else {
+                    self.threads[t].micro = 2;
+                }
+                NextStep::Yield
+            }
+            2 => {
+                let stolen = (0..self.runq.shards.len())
+                    .filter(|v| *v != shard)
+                    .find_map(|v| self.runq.shards[v].pop_front().map(|id| (id, v)));
+                match stolen {
+                    Some((id, v)) => {
+                        self.runq_dispatch(t, id, Some(v));
+                        self.advance(t);
+                    }
+                    None => self.threads[t].micro = 3,
+                }
+                NextStep::Yield
+            }
+            _ => {
+                // Atomic check-then-park: one last full scan under "the
+                // idle-list lock"; anything published since the probes
+                // is taken instead of sleeping on it.
+                if let Some((id, from)) = self.runq_scan(shard) {
+                    self.runq_dispatch(t, id, from);
+                    self.advance(t);
+                    NextStep::Yield
+                } else {
+                    self.runq.waiters.push_back((t, 0));
+                    self.push_event(t, Tag::LwpPark, t as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+
+    /// `RunqStealRacy`: micro 0 *peeks* the victim's head (or parks when
+    /// it is empty), micro 1 dispatches the peeked id and pops whatever
+    /// is at the head *now* — the lost-lock window two racing thieves
+    /// fall into by both peeking the same item.
+    fn runq_racy_steal_machine(&mut self, t: usize, victim: usize) -> NextStep {
+        if self.threads[t].micro == 0 {
+            match self.runq.shards[victim].front() {
+                Some(&id) => {
+                    self.threads[t].scratch = id;
+                    self.threads[t].micro = 1;
+                    NextStep::Yield
+                }
+                None => {
+                    self.runq.waiters.push_back((t, 0));
+                    self.push_event(t, Tag::LwpPark, t as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        } else {
+            let id = self.threads[t].scratch;
+            // Remove blindly — under a race this drops a *different* item
+            // than the one we account for.
+            self.runq.shards[victim].pop_front();
+            self.runq_dispatch(t, id, Some(victim));
+            self.advance(t);
+            NextStep::Yield
+        }
+    }
 }
 
 /// Result of one complete schedule run.
@@ -1176,6 +1483,18 @@ fn classify(model: &Model, world: &World) -> Option<String> {
             ));
         }
     }
+    // Run-queue handoff integrity: every item pushed was dispatched
+    // exactly once (duplicates were convicted eagerly) and nothing is
+    // left sitting in a queue after all dispatchers finished.
+    let rq = &world.runq;
+    let queued: usize = rq.shards.iter().map(VecDeque::len).sum::<usize>() + rq.inject.len();
+    if queued > 0 || (rq.dispatched.len() as u64) < rq.pushed {
+        return Some(format!(
+            "runq lost work: pushed {}, dispatched {}, {queued} still queued",
+            rq.pushed,
+            rq.dispatched.len(),
+        ));
+    }
     None
 }
 
@@ -1198,6 +1517,7 @@ mod tests {
             counters: 1,
             flags: 0,
             crits: 0,
+            runq_shards: 0,
             final_counters: vec![(0, 2)],
             expect: Expect::Pass,
             min_schedules: 0,

@@ -24,6 +24,7 @@ fn base(name: &'static str, about: &'static str, threads: Vec<Vec<SyncOp>>) -> M
         counters: 0,
         flags: 0,
         crits: 0,
+        runq_shards: 0,
         final_counters: vec![],
         expect: Expect::Pass,
         min_schedules: 0,
@@ -333,7 +334,66 @@ pub fn catalogue() -> Vec<Model> {
                 ],
             )
         },
+        // ----------------------------------------------- adaptive mutex
+        Model {
+            mutexes: 1,
+            counters: 1,
+            crits: 1,
+            final_counters: vec![(0, 2)],
+            preemption_bound: Some(3),
+            min_schedules: 400,
+            ..base(
+                "mutex_adaptive",
+                "adaptive mutex_enter spins while the holder runs, then parks",
+                vec![
+                    vec![
+                        MutexEnterAdaptive(0),
+                        CritEnter(0),
+                        Work(2),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnterAdaptive(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExit(0),
+                    ],
+                ],
+            )
+        },
+        // ------------------------------------------- sharded run queue
+        Model {
+            runq_shards: 2,
+            preemption_bound: Some(3),
+            min_schedules: 200,
+            ..base(
+                "runq_steal",
+                "shard-0 work and an injected item drain via owner pop, steal, or park/wake",
+                vec![
+                    vec![RunqPush { shard: 0 }, RunqInjectPush],
+                    vec![RunqPop { shard: 0 }],
+                    vec![RunqPop { shard: 1 }],
+                ],
+            )
+        },
         // ----------------------------------------- negatives (seeded bugs)
+        Model {
+            runq_shards: 3,
+            preemption_bound: Some(3),
+            expect: Expect::FailContaining("dispatched twice"),
+            ..base(
+                "neg_runq_double_steal",
+                "lockless steal: two thieves peek the same victim head and double-dispatch it",
+                vec![
+                    vec![RunqPush { shard: 0 }, RunqPush { shard: 0 }],
+                    vec![RunqStealRacy { victim: 0 }],
+                    vec![RunqStealRacy { victim: 0 }],
+                ],
+            )
+        },
         Model {
             mutexes: 1,
             cvs: 1,
@@ -439,6 +499,7 @@ mod tests {
                     match *op {
                         SyncOp::MutexEnter(i)
                         | SyncOp::MutexExit(i)
+                        | SyncOp::MutexEnterAdaptive(i)
                         | SyncOp::TryenterElseSkip { mutex: i, .. } => {
                             assert!(i < m.mutexes, "{}: mutex {i}", m.name)
                         }
@@ -469,6 +530,14 @@ mod tests {
                         }
                         SyncOp::CritEnter(i) | SyncOp::CritExit(i) => {
                             assert!(i < m.crits, "{}: crit {i}", m.name)
+                        }
+                        SyncOp::RunqPush { shard: i }
+                        | SyncOp::RunqPop { shard: i }
+                        | SyncOp::RunqStealRacy { victim: i } => {
+                            assert!(i < m.runq_shards, "{}: runq shard {i}", m.name)
+                        }
+                        SyncOp::RunqInjectPush => {
+                            assert!(m.runq_shards > 0, "{}: injection without a runq", m.name)
                         }
                         SyncOp::Work(_) | SyncOp::AssertTimedOut(_) => {}
                     }

@@ -67,7 +67,8 @@ pub mod timers;
 pub mod tls;
 pub mod types;
 
-mod runq;
+pub mod runq;
+
 mod sched;
 mod sleepq;
 mod strategy;

@@ -1,11 +1,20 @@
-//! The run queue of unbound threads.
+//! The run queues of unbound threads.
+//!
+//! The paper's Figure 2 shows one global priority run queue; the first cut
+//! of this library reproduced that literally as a single `Mutex<RunQueue>`,
+//! which serialized every create, wakeup and dispatch in the process. This
+//! module keeps that multilevel queue as the building block ([`RunQueue`])
+//! and composes the production dispatcher's structure from it
+//! ([`ShardedRunQueue`]): one lightly-locked shard per LWP, priority-aware
+//! work stealing between shards, and a small global *injection* queue for
+//! wakeups arriving from contexts that have no shard (bound threads, the
+//! timer LWP, signal handlers) and for shard overflow.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicI32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use sunmt_trace::{probe, Tag};
-
-use crate::thread::Thread;
 
 /// Number of distinct priority levels the dispatcher distinguishes.
 ///
@@ -13,19 +22,87 @@ use crate::thread::Thread;
 /// priority gives increasing scheduling priority".
 pub const LEVELS: usize = 64;
 
+/// Soft per-shard capacity: a push finding its shard at this depth spills to
+/// the injection queue instead, so one producer-heavy LWP cannot hoard an
+/// unbounded backlog that only stealing (one item per trip) can drain.
+pub const SHARD_CAP: usize = 256;
+
+/// Pop fairness interval: every Nth pop on a shard services the injection
+/// queue (and failing that, a steal) *before* the shard's own queue.
+/// Without this, an owner whose shard never empties — e.g. one thread in a
+/// yield loop, re-queued to its own shard on every dispatch — would starve
+/// injected wakeups and orphaned shards forever; with it, cross-context
+/// work is delayed by at most `FAIR_EVERY - 1` dispatches.
+pub const FAIR_EVERY: usize = 61;
+
+/// Locks `m`, ignoring poison.
+///
+/// Run-queue and scheduler state is kept consistent by short critical
+/// sections that do not call user code, so a panic while holding one of
+/// these locks cannot leave the structure half-updated in a way later
+/// operations would trip over — but `Mutex` poisoning would still wedge
+/// every *other* LWP's dispatch path forever. All scheduler lock sites go
+/// through this accessor instead of `expect("... poisoned")`.
+pub fn unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Something a run queue can hold: anything with a scheduling priority, an
+/// identity, and a trace id.
+///
+/// The scheduler instantiates the queues with `Arc<Thread>`; benches and
+/// tests use plain `(priority, id)` pairs so the queue structure can be
+/// measured without building thread objects.
+pub trait RunItem {
+    /// Scheduling priority; higher runs first (clamped into `0..LEVELS`).
+    fn priority(&self) -> i32;
+    /// Whether `self` and `other` are the same queued entity (used by
+    /// removal; pointer identity for `Arc`ed threads).
+    fn same(&self, other: &Self) -> bool;
+    /// Identity reported by the `Runq*` trace probes.
+    fn trace_id(&self) -> u64;
+}
+
+impl RunItem for std::sync::Arc<crate::thread::Thread> {
+    fn priority(&self) -> i32 {
+        // UFCS: plain `self.priority()` would resolve back to this trait
+        // method on the `Arc` itself.
+        crate::thread::Thread::priority(self.as_ref())
+    }
+    fn same(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(self, other)
+    }
+    fn trace_id(&self) -> u64 {
+        self.id.0 as u64
+    }
+}
+
+/// Plain `(priority, id)` pairs as run items, for benches and tests.
+impl RunItem for (i32, u64) {
+    fn priority(&self) -> i32 {
+        self.0
+    }
+    fn same(&self, other: &Self) -> bool {
+        self == other
+    }
+    fn trace_id(&self) -> u64 {
+        self.1
+    }
+}
+
 /// A priority-indexed multilevel queue with an occupancy bitmap.
 ///
-/// Pop returns the oldest thread of the highest occupied level — the
-/// dispatch rule the paper's threads package uses for unbound threads.
-pub struct RunQueue {
-    levels: Vec<VecDeque<Arc<Thread>>>,
+/// Pop returns the oldest item of the highest occupied level — the dispatch
+/// rule the paper's threads package uses for unbound threads.
+pub struct RunQueue<T> {
+    levels: Vec<VecDeque<T>>,
     occupied: u64,
     len: usize,
 }
 
-impl RunQueue {
+impl<T: RunItem> RunQueue<T> {
     /// Creates an empty queue.
-    pub fn new() -> RunQueue {
+    pub fn new() -> RunQueue<T> {
         RunQueue {
             levels: (0..LEVELS).map(|_| VecDeque::new()).collect(),
             occupied: 0,
@@ -33,29 +110,29 @@ impl RunQueue {
         }
     }
 
-    /// Clamps an arbitrary non-negative priority into a queue level.
+    /// Clamps an arbitrary priority into a queue level.
     pub fn level_for(priority: i32) -> usize {
         priority.clamp(0, LEVELS as i32 - 1) as usize
     }
 
     /// Enqueues `t` at its current priority.
-    pub fn push(&mut self, t: Arc<Thread>) {
+    pub fn push(&mut self, t: T) {
         let lvl = Self::level_for(t.priority());
-        probe!(Tag::RunqPush, t.id.0, lvl);
+        probe!(Tag::RunqPush, t.trace_id(), lvl);
         self.levels[lvl].push_back(t);
         self.occupied |= 1 << lvl;
         self.len += 1;
     }
 
-    /// Dequeues the oldest thread of the highest occupied priority.
-    pub fn pop(&mut self) -> Option<Arc<Thread>> {
+    /// Dequeues the oldest item of the highest occupied priority.
+    pub fn pop(&mut self) -> Option<T> {
         if self.occupied == 0 {
             return None;
         }
         let lvl = 63 - self.occupied.leading_zeros() as usize;
         let q = &mut self.levels[lvl];
         let t = q.pop_front().expect("occupancy bit set on empty level");
-        probe!(Tag::RunqPop, t.id.0, lvl);
+        probe!(Tag::RunqPop, t.trace_id(), lvl);
         if q.is_empty() {
             self.occupied &= !(1 << lvl);
         }
@@ -63,12 +140,12 @@ impl RunQueue {
         Some(t)
     }
 
-    /// Removes a specific thread wherever it is queued; returns whether it
+    /// Removes a specific item wherever it is queued; returns whether it
     /// was present (used by `thread_stop` of a runnable thread).
-    pub fn remove(&mut self, t: &Arc<Thread>) -> bool {
+    pub fn remove(&mut self, t: &T) -> bool {
         for lvl in 0..LEVELS {
             let q = &mut self.levels[lvl];
-            if let Some(pos) = q.iter().position(|x| Arc::ptr_eq(x, t)) {
+            if let Some(pos) = q.iter().position(|x| x.same(t)) {
                 q.remove(pos);
                 if q.is_empty() {
                     self.occupied &= !(1 << lvl);
@@ -80,20 +157,266 @@ impl RunQueue {
         false
     }
 
-    /// Number of queued threads.
+    /// Highest occupied priority level, or -1 when empty — the value a
+    /// shard advertises for steal victim selection.
+    pub fn top_level(&self) -> i32 {
+        if self.occupied == 0 {
+            -1
+        } else {
+            63 - self.occupied.leading_zeros() as i32
+        }
+    }
+
+    /// Number of queued items.
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether no thread is queued.
+    /// Whether no item is queued.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 }
 
-impl Default for RunQueue {
+impl<T: RunItem> Default for RunQueue<T> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// One LWP's local run queue plus the metadata other LWPs read without the
+/// lock: the length and the advertised top priority.
+struct Shard<T> {
+    q: Mutex<RunQueue<T>>,
+    len: AtomicUsize,
+    /// [`RunQueue::top_level`] of `q`, republished under the shard lock on
+    /// every mutation. Thieves scan these to pick a victim without
+    /// touching any lock.
+    top: AtomicI32,
+    /// Pops served from this shard, for the [`FAIR_EVERY`] rotation.
+    ticks: AtomicUsize,
+}
+
+impl<T: RunItem> Shard<T> {
+    fn new() -> Shard<T> {
+        Shard {
+            q: Mutex::new(RunQueue::new()),
+            len: AtomicUsize::new(0),
+            top: AtomicI32::new(-1),
+            ticks: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The production dispatcher structure: per-LWP run-queue shards with
+/// priority-aware work stealing and a global injection queue.
+///
+/// * **Owner push/pop** touches only the owner's shard lock, which is
+///   contended only by the occasional thief — the common path is one
+///   uncontended lock instead of the process-wide one.
+/// * **Stealing** scans the shards' advertised top priorities (plain atomic
+///   loads), locks the best victim, and takes its highest-priority item, so
+///   the paper's "highest priority runnable thread runs" rule holds across
+///   shards to the extent the advertisements are fresh.
+/// * **Injection** receives pushes from contexts with no shard of their own
+///   and overflow from shards deeper than [`SHARD_CAP`]; every popper
+///   drains it before stealing.
+pub struct ShardedRunQueue<T> {
+    shards: Vec<Shard<T>>,
+    inject: Mutex<RunQueue<T>>,
+    total: AtomicUsize,
+    next_shard: AtomicUsize,
+    steals: AtomicU64,
+    injects: AtomicU64,
+}
+
+/// Where a pushed item landed (so wakeups can target the right LWP).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// On the shard with this index.
+    Shard(usize),
+    /// On the global injection queue.
+    Injected,
+}
+
+impl<T: RunItem> ShardedRunQueue<T> {
+    /// Creates a queue with `shards` shards (at least one).
+    pub fn new(shards: usize) -> ShardedRunQueue<T> {
+        ShardedRunQueue {
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            inject: Mutex::new(RunQueue::new()),
+            total: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            injects: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hands out home-shard indices to LWPs round-robin.
+    pub fn assign_shard(&self) -> usize {
+        self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Pushes `t` onto shard `shard` (the caller's home shard), spilling to
+    /// the injection queue when that shard is at [`SHARD_CAP`].
+    pub fn push(&self, shard: usize, t: T) -> Placement {
+        let s = &self.shards[shard % self.shards.len()];
+        if s.len.load(Ordering::Relaxed) >= SHARD_CAP {
+            self.push_inject(t);
+            return Placement::Injected;
+        }
+        let mut q = unpoisoned(&s.q);
+        q.push(t);
+        s.len.store(q.len(), Ordering::Release);
+        s.top.store(q.top_level(), Ordering::Release);
+        drop(q);
+        self.total.fetch_add(1, Ordering::Release);
+        Placement::Shard(shard % self.shards.len())
+    }
+
+    /// Pushes `t` onto the global injection queue — the path for wakeups
+    /// from contexts that have no home shard.
+    pub fn push_inject(&self, t: T) -> Placement {
+        probe!(Tag::RunqInject, t.trace_id());
+        unpoisoned(&self.inject).push(t);
+        self.total.fetch_add(1, Ordering::Release);
+        self.injects.fetch_add(1, Ordering::Relaxed);
+        Placement::Injected
+    }
+
+    /// Dequeues the next item for the LWP whose home shard is `shard`:
+    /// own shard first, then the injection queue, then a steal — except
+    /// every [`FAIR_EVERY`]th pop, which services injection (then a
+    /// steal) first so a busy own shard cannot starve the other paths.
+    pub fn pop(&self, shard: usize) -> Option<T> {
+        let s = &self.shards[shard % self.shards.len()];
+        let tick = s.ticks.fetch_add(1, Ordering::Relaxed);
+        if tick % FAIR_EVERY == FAIR_EVERY - 1 {
+            if let Some(t) = self.pop_inject() {
+                return Some(t);
+            }
+            if let Some(t) = self.steal(shard) {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.pop_own(shard) {
+            return Some(t);
+        }
+        if let Some(t) = self.pop_inject() {
+            return Some(t);
+        }
+        self.steal(shard)
+    }
+
+    /// Pops from `shard` only.
+    pub fn pop_own(&self, shard: usize) -> Option<T> {
+        let s = &self.shards[shard % self.shards.len()];
+        if s.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = unpoisoned(&s.q);
+        let t = q.pop();
+        s.len.store(q.len(), Ordering::Release);
+        s.top.store(q.top_level(), Ordering::Release);
+        drop(q);
+        if t.is_some() {
+            self.total.fetch_sub(1, Ordering::Release);
+        }
+        t
+    }
+
+    /// Pops from the injection queue only.
+    pub fn pop_inject(&self) -> Option<T> {
+        let t = unpoisoned(&self.inject).pop();
+        if t.is_some() {
+            self.total.fetch_sub(1, Ordering::Release);
+        }
+        t
+    }
+
+    /// Steals one item for the LWP on shard `me`: picks the victim
+    /// advertising the highest top priority, re-scanning if the victim was
+    /// drained under it. Returns `None` when every other shard reads
+    /// empty — callers treat that as "nothing runnable" and may park, so a
+    /// spurious `None` under a race costs a wakeup, never correctness
+    /// (pushers wake a parked LWP after publishing).
+    pub fn steal(&self, me: usize) -> Option<T> {
+        // Bounded rescans: each failed attempt means the victim emptied
+        // between the scan and the lock, and its advertisement was fixed
+        // under that lock, so the scan converges quickly.
+        for _ in 0..self.shards.len().max(4) {
+            let mut best: Option<(i32, usize)> = None;
+            for (i, s) in self.shards.iter().enumerate() {
+                if i == me % self.shards.len() {
+                    continue;
+                }
+                let top = s.top.load(Ordering::Acquire);
+                if top >= 0 && best.is_none_or(|(bt, _)| top > bt) {
+                    best = Some((top, i));
+                }
+            }
+            let (_, victim) = best?;
+            let s = &self.shards[victim];
+            let mut q = unpoisoned(&s.q);
+            let t = q.pop();
+            s.len.store(q.len(), Ordering::Release);
+            s.top.store(q.top_level(), Ordering::Release);
+            drop(q);
+            if let Some(t) = t {
+                self.total.fetch_sub(1, Ordering::Release);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                probe!(Tag::RunqSteal, t.trace_id(), victim);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Removes a specific item wherever it is queued; returns whether it
+    /// was present.
+    pub fn remove(&self, t: &T) -> bool {
+        if unpoisoned(&self.inject).remove(t) {
+            self.total.fetch_sub(1, Ordering::Release);
+            return true;
+        }
+        for s in &self.shards {
+            let mut q = unpoisoned(&s.q);
+            let removed = q.remove(t);
+            if removed {
+                s.len.store(q.len(), Ordering::Release);
+                s.top.store(q.top_level(), Ordering::Release);
+                drop(q);
+                self.total.fetch_sub(1, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total queued items across all shards and the injection queue (a
+    /// racy-but-exact counter: every push/pop adjusts it exactly once).
+    pub fn len(&self) -> usize {
+        self.total.load(Ordering::Acquire)
+    }
+
+    /// Whether nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Successful steals since creation.
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Injection-queue pushes since creation.
+    pub fn inject_count(&self) -> u64 {
+        self.injects.load(Ordering::Relaxed)
     }
 }
 
@@ -102,6 +425,7 @@ mod tests {
     use super::*;
     use crate::thread::Thread;
     use crate::types::CreateFlags;
+    use std::sync::Arc;
 
     fn mk(priority: i32) -> Arc<Thread> {
         Thread::new_for_test(priority, CreateFlags::NONE)
@@ -135,10 +459,10 @@ mod tests {
 
     #[test]
     fn priorities_clamp_into_range() {
-        assert_eq!(RunQueue::level_for(-5), 0);
-        assert_eq!(RunQueue::level_for(0), 0);
-        assert_eq!(RunQueue::level_for(63), 63);
-        assert_eq!(RunQueue::level_for(1_000_000), 63);
+        assert_eq!(RunQueue::<(i32, u64)>::level_for(-5), 0);
+        assert_eq!(RunQueue::<(i32, u64)>::level_for(0), 0);
+        assert_eq!(RunQueue::<(i32, u64)>::level_for(63), 63);
+        assert_eq!(RunQueue::<(i32, u64)>::level_for(1_000_000), 63);
     }
 
     #[test]
@@ -153,5 +477,133 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(Arc::ptr_eq(&q.pop().unwrap(), &b));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn top_level_tracks_occupancy() {
+        let mut q = RunQueue::new();
+        assert_eq!(q.top_level(), -1);
+        q.push((3, 1));
+        q.push((10, 2));
+        assert_eq!(q.top_level(), 10);
+        q.pop();
+        assert_eq!(q.top_level(), 3);
+        q.pop();
+        assert_eq!(q.top_level(), -1);
+    }
+
+    #[test]
+    fn sharded_owner_path_round_trips() {
+        let q = ShardedRunQueue::new(4);
+        assert_eq!(q.push(1, (5, 100)), Placement::Shard(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(1), Some((5, 100)));
+        assert!(q.is_empty());
+        assert_eq!(q.steal_count(), 0);
+    }
+
+    #[test]
+    fn pop_drains_injection_before_stealing() {
+        let q = ShardedRunQueue::new(4);
+        q.push(2, (1, 10));
+        q.push_inject((1, 20));
+        // Shard 0 is empty: it must take the injected item first (no steal
+        // counted), then steal shard 2's.
+        assert_eq!(q.pop(0), Some((1, 20)));
+        assert_eq!(q.steal_count(), 0);
+        assert_eq!(q.pop(0), Some((1, 10)));
+        assert_eq!(q.steal_count(), 1);
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn steal_picks_the_highest_priority_victim() {
+        let q = ShardedRunQueue::new(4);
+        q.push(1, (3, 10));
+        q.push(2, (9, 20));
+        q.push(3, (6, 30));
+        // Victim selection is by advertised top priority, deterministically:
+        // shard 2 (prio 9), then 3 (prio 6), then 1 (prio 3).
+        assert_eq!(q.steal(0), Some((9, 20)));
+        assert_eq!(q.steal(0), Some((6, 30)));
+        assert_eq!(q.steal(0), Some((3, 10)));
+        assert_eq!(q.steal(0), None);
+        assert_eq!(q.steal_count(), 3);
+    }
+
+    #[test]
+    fn steal_never_takes_from_own_shard() {
+        let q = ShardedRunQueue::new(2);
+        q.push(0, (5, 1));
+        assert_eq!(q.steal(0), None);
+        assert_eq!(q.pop_own(0), Some((5, 1)));
+    }
+
+    #[test]
+    fn overflow_spills_to_injection() {
+        let q = ShardedRunQueue::new(2);
+        for i in 0..SHARD_CAP as u64 {
+            assert_eq!(q.push(0, (1, i)), Placement::Shard(0));
+        }
+        assert_eq!(q.push(0, (1, 9999)), Placement::Injected);
+        assert_eq!(q.inject_count(), 1);
+        assert_eq!(q.len(), SHARD_CAP + 1);
+        // A popper on the *other* shard sees the spilled item via the
+        // injection queue without stealing.
+        assert_eq!(q.pop_inject(), Some((1, 9999)));
+    }
+
+    #[test]
+    fn fairness_tick_drains_injection_under_a_busy_shard() {
+        let q = ShardedRunQueue::new(2);
+        q.push_inject((1, 999));
+        // An owner that re-queues its thread on every dispatch (a yield
+        // loop) keeps its shard permanently non-empty; the injected item
+        // must still come out within FAIR_EVERY pops.
+        q.push(0, (1, 1));
+        for i in 0..FAIR_EVERY {
+            let t = q.pop(0).expect("both queues non-empty");
+            if t.1 == 999 {
+                assert!(i > 0, "fair path should not fire on the first pop");
+                return;
+            }
+            q.push(0, t);
+        }
+        panic!("injected item starved for {FAIR_EVERY} dispatches");
+    }
+
+    #[test]
+    fn remove_finds_items_in_any_shard_or_injection() {
+        let q = ShardedRunQueue::new(3);
+        q.push(0, (2, 1));
+        q.push(1, (2, 2));
+        q.push_inject((2, 3));
+        assert!(q.remove(&(2, 3)));
+        assert!(q.remove(&(2, 2)));
+        assert!(!q.remove(&(2, 2)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(0), Some((2, 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_the_global_queue() {
+        let q = ShardedRunQueue::new(1);
+        q.push(0, (1, 1));
+        q.push(0, (9, 2));
+        assert_eq!(q.pop(0), Some((9, 2)));
+        assert_eq!(q.pop(0), Some((1, 1)));
+        assert_eq!(q.steal_count(), 0);
+    }
+
+    #[test]
+    fn unpoisoned_recovers_a_poisoned_lock() {
+        let m = Mutex::new(7);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*unpoisoned(&m), 7);
     }
 }

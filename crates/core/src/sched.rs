@@ -22,7 +22,7 @@ use sunmt_lwp::{registry, Lwp, LwpState};
 use sunmt_sync::{Sema, SyncType};
 use sunmt_trace::{probe, Tag};
 
-use crate::runq::RunQueue;
+use crate::runq::{unpoisoned, Placement, ShardedRunQueue};
 use crate::signals::Disposition;
 use crate::sleepq::SleepTable;
 use crate::thread::Thread;
@@ -65,10 +65,12 @@ pub(crate) struct Mt {
     pub anywait: Sema,
     /// Outstanding (unreaped) `THREAD_WAIT` threads.
     pub waitable: AtomicUsize,
-    pub runq: Mutex<RunQueue>,
+    /// The sharded run queues: one per-LWP shard plus the injection queue.
+    pub runq: ShardedRunQueue<Arc<Thread>>,
     pub sleepers: Mutex<SleepTable>,
-    /// Pool LWPs currently parked with nothing to run.
-    pub idle: Mutex<Vec<Arc<LwpState>>>,
+    /// Pool LWPs currently parked with nothing to run, with their home
+    /// shard so a push can wake the LWP whose queue received the work.
+    pub idle: Mutex<Vec<(Arc<LwpState>, usize)>>,
     pub stacks: StackCache,
     next_id: AtomicU32,
     pub pool_count: AtomicUsize,
@@ -105,7 +107,7 @@ pub(crate) fn mt() -> &'static Mt {
             zombies: Mutex::new(VecDeque::new()),
             anywait: Sema::new(0, SyncType::DEFAULT),
             waitable: AtomicUsize::new(0),
-            runq: Mutex::new(RunQueue::new()),
+            runq: ShardedRunQueue::new(default_shards()),
             sleepers: Mutex::new(SleepTable::new()),
             idle: Mutex::new(Vec::new()),
             stacks: StackCache::new(),
@@ -121,6 +123,16 @@ pub(crate) fn mt() -> &'static Mt {
             timeout_wakeups: AtomicU64::new(0),
         }
     })
+}
+
+/// Number of run-queue shards: one per hardware context (more would only
+/// lengthen steal scans, fewer would re-serialize dispatch). LWPs beyond
+/// this share shards round-robin.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 64)
 }
 
 /// Ensures the library is initialized (idempotent). Called implicitly by
@@ -324,6 +336,9 @@ fn bound_main(t: Arc<Thread>, f: Box<dyn FnOnce() + Send + 'static>) {
 thread_local! {
     /// Whether this host thread is a pool LWP (set once by `sched_loop`).
     static IS_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// This pool LWP's home run-queue shard (`None` off the pool: bound
+    /// threads, the timer LWP and signal contexts push via injection).
+    static MY_SHARD: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
 /// Whether the calling host thread is one of the pool's LWPs.
@@ -334,9 +349,13 @@ pub(crate) fn on_pool_lwp() -> bool {
 fn sched_loop() {
     let me = sunmt_lwp::current();
     IS_POOL.with(|c| c.set(true));
+    let m = mt();
+    // Home shard for the life of this LWP: owner-side push/pop stay on it;
+    // everything else arrives by steal or injection.
+    let shard = m.runq.assign_shard();
+    MY_SHARD.with(|c| c.set(Some(shard)));
     loop {
-        let next = mt().runq.lock().expect("run queue poisoned").pop();
-        if let Some(t) = next {
+        if let Some(t) = m.runq.pop(shard) {
             run_one(t);
             continue;
         }
@@ -344,7 +363,6 @@ fn sched_loop() {
         // a shrunk target never abandons queued work ("LWPs are removed
         // from the pool" lazily).
         {
-            let m = mt();
             let cur = m.pool_count.load(Ordering::SeqCst);
             if cur > m.pool_target.load(Ordering::SeqCst)
                 && m.pool_count
@@ -356,12 +374,8 @@ fn sched_loop() {
         }
         // Advertise as idle, then re-check to close the race with a
         // concurrent make_runnable, then park in the kernel.
-        mt().idle
-            .lock()
-            .expect("idle list poisoned")
-            .push(Arc::clone(&me));
-        let next = mt().runq.lock().expect("run queue poisoned").pop();
-        if let Some(t) = next {
+        unpoisoned(&m.idle).push((Arc::clone(&me), shard));
+        if let Some(t) = m.runq.pop(shard) {
             remove_self_from_idle(&me);
             run_one(t);
             continue;
@@ -372,8 +386,8 @@ fn sched_loop() {
 }
 
 fn remove_self_from_idle(me: &Arc<LwpState>) {
-    let mut idle = mt().idle.lock().expect("idle list poisoned");
-    if let Some(pos) = idle.iter().position(|x| Arc::ptr_eq(x, me)) {
+    let mut idle = unpoisoned(&mt().idle);
+    if let Some(pos) = idle.iter().position(|(x, _)| Arc::ptr_eq(x, me)) {
         idle.remove(pos);
     }
 }
@@ -492,13 +506,32 @@ pub(crate) fn make_runnable(t: Arc<Thread>) {
 }
 
 fn push_runnable(t: Arc<Thread>) {
-    mt().runq.lock().expect("run queue poisoned").push(t);
-    wake_one_idle();
+    let m = mt();
+    // Pool LWPs enqueue on their own shard (one uncontended lock); every
+    // other context — bound threads, the timer LWP, signal handlers —
+    // injects globally.
+    let placement = match MY_SHARD.with(|c| c.get()) {
+        Some(shard) => m.runq.push(shard, t),
+        None => m.runq.push_inject(t),
+    };
+    wake_one_idle(placement);
 }
 
-fn wake_one_idle() {
+fn wake_one_idle(placement: Placement) {
     let m = mt();
-    let lwp = m.idle.lock().expect("idle list poisoned").pop();
+    let lwp = {
+        let mut idle = unpoisoned(&m.idle);
+        // Prefer the parked LWP whose home shard just received the work —
+        // its pop is a local hit; any other idle LWP must steal.
+        let pos = match placement {
+            Placement::Shard(s) => idle.iter().position(|(_, sh)| *sh == s),
+            Placement::Injected => None,
+        };
+        match pos {
+            Some(p) => Some(idle.remove(p).0),
+            None => idle.pop().map(|(l, _)| l),
+        }
+    };
     if let Some(lwp) = lwp {
         lwp.parker().unpark();
         return;
@@ -522,9 +555,7 @@ pub(crate) fn pool_enter_blocking() {
     }
     let m = mt();
     let blocked = m.pool_blocked.fetch_add(1, Ordering::SeqCst) + 1;
-    if blocked >= m.pool_count.load(Ordering::SeqCst)
-        && !m.runq.lock().expect("run queue poisoned").is_empty()
-    {
+    if blocked >= m.pool_count.load(Ordering::SeqCst) && !m.runq.is_empty() {
         add_pool_lwp();
     }
 }
@@ -549,7 +580,7 @@ fn commit_sleep(
     expected: u32,
     deadline: Option<core::time::Duration>,
 ) {
-    let mut tbl = mt().sleepers.lock().expect("sleep table poisoned");
+    let mut tbl = unpoisoned(&mt().sleepers);
     // SAFETY: The park contract (inherited from the futex-shaped
     // BlockStrategy) requires `addr` to point at a live AtomicU32 for as
     // long as anyone may sleep on it.
@@ -579,11 +610,7 @@ fn commit_sleep(
 /// the *same* word can at worst cause a spurious wake, which the
 /// futex-shaped park contract already permits.
 pub(crate) fn timeout_wakeup(addr: usize, t: Arc<Thread>) {
-    let removed = mt()
-        .sleepers
-        .lock()
-        .expect("sleep table poisoned")
-        .remove_thread_at(addr, &t);
+    let removed = unpoisoned(&mt().sleepers).remove_thread_at(addr, &t);
     if removed {
         mt().timeout_wakeups.fetch_add(1, Ordering::Relaxed);
         probe!(Tag::SleepTimeout, t.id.0, addr);
@@ -765,7 +792,7 @@ fn stop_other(t: Arc<Thread>) -> Result<()> {
                 return Err(MtError::UnknownThread(t.id));
             }
             ThreadState::Runnable => {
-                let removed = mt().runq.lock().expect("run queue poisoned").remove(&t);
+                let removed = mt().runq.remove(&t);
                 if removed {
                     commit_stop(Arc::clone(&t));
                     return Ok(());
@@ -773,11 +800,7 @@ fn stop_other(t: Arc<Thread>) -> Result<()> {
                 // It was dispatched under us; re-observe.
             }
             ThreadState::Sleeping => {
-                let removed = mt()
-                    .sleepers
-                    .lock()
-                    .expect("sleep table poisoned")
-                    .remove_thread(&t);
+                let removed = unpoisoned(&mt().sleepers).remove_thread(&t);
                 if removed {
                     commit_stop(Arc::clone(&t));
                     return Ok(());
@@ -854,11 +877,7 @@ pub(crate) fn yield_current() {
 }
 
 pub(crate) fn user_unpark(addr: usize, n: usize) {
-    let woken = mt()
-        .sleepers
-        .lock()
-        .expect("sleep table poisoned")
-        .take(addr, n);
+    let woken = unpoisoned(&mt().sleepers).take(addr, n);
     for t in woken {
         probe!(Tag::Wakeup, t.id.0, addr);
         make_runnable(t);
@@ -879,8 +898,8 @@ pub(crate) fn set_concurrency(n: usize) {
         add_pool_lwp();
     }
     // Prod idle LWPs so surplus ones notice the lower target and retire.
-    let idle: Vec<Arc<LwpState>> = m.idle.lock().expect("idle list poisoned").clone();
-    for lwp in idle {
+    let idle: Vec<(Arc<LwpState>, usize)> = unpoisoned(&m.idle).clone();
+    for (lwp, _) in idle {
         lwp.parker().unpark();
     }
 }
@@ -912,8 +931,11 @@ fn add_pool_lwp() {
 fn sigwaiting_handler() {
     let m = mt();
     probe!(Tag::SigwaitingPost, m.pool_count.load(Ordering::SeqCst));
-    let runnable = m.runq.lock().expect("run queue poisoned").len();
-    let idle = m.idle.lock().expect("idle list poisoned").len();
+    // Total runnable across every shard and the injection queue: growth
+    // must trigger even when all the queued work sits on the shards of
+    // blocked LWPs.
+    let runnable = m.runq.len();
+    let idle = unpoisoned(&m.idle).len();
     if runnable > 0 && idle == 0 {
         let count = m.pool_count.load(Ordering::SeqCst);
         m.pool_target.fetch_max(count + 1, Ordering::SeqCst);
@@ -923,23 +945,24 @@ fn sigwaiting_handler() {
 
 /// Diagnostic snapshot used by tests and the experiment harness.
 ///
-/// The four collections are read under a single *consistent* lock hold, so
-/// a thread mid-transition (e.g. popped from the run queue but not yet
-/// dispatched) can never be double- or zero-counted across fields read at
-/// different times.
+/// The locked collections are read under one consistent hold. `runnable`
+/// is the sharded queue's atomic total — exact (every push/pop adjusts it
+/// exactly once) but read without stopping the shards, so it can lag a
+/// concurrent transition by one; quiesce the process for exact snapshots,
+/// as the tests do.
 ///
 /// Lock ordering (the library's canonical order — nothing else in the
 /// library holds two of these at once, so this function defines it):
-/// `runq` → `sleepers` → `idle` → `threads`. Any future code that must
-/// nest them has to follow the same order.
+/// `sleepers` → `idle` → `threads`, with any single run-queue shard lock
+/// strictly innermost. Any future code that must nest them has to follow
+/// the same order.
 pub fn stats() -> SchedStats {
     let m = mt();
-    let runq = m.runq.lock().expect("run queue poisoned");
-    let sleepers = m.sleepers.lock().expect("sleep table poisoned");
-    let idle = m.idle.lock().expect("idle list poisoned");
-    let threads = m.threads.lock().expect("thread registry poisoned");
+    let sleepers = unpoisoned(&m.sleepers);
+    let idle = unpoisoned(&m.idle);
+    let threads = unpoisoned(&m.threads);
     SchedStats {
-        runnable: runq.len(),
+        runnable: m.runq.len(),
         sleeping: sleepers.len(),
         pool_lwps: m.pool_count.load(Ordering::SeqCst),
         idle_lwps: idle.len(),
@@ -947,6 +970,8 @@ pub fn stats() -> SchedStats {
         dispatches: m.dispatches.load(Ordering::Relaxed),
         pool_grows: m.pool_grows.load(Ordering::Relaxed),
         timeout_wakeups: m.timeout_wakeups.load(Ordering::Relaxed),
+        steals: m.runq.steal_count(),
+        injects: m.runq.inject_count(),
     }
 }
 
@@ -969,4 +994,8 @@ pub struct SchedStats {
     pub pool_grows: u64,
     /// Total user-level sleeps ended by their deadline since library init.
     pub timeout_wakeups: u64,
+    /// Threads taken from another LWP's run-queue shard since library init.
+    pub steals: u64,
+    /// Pushes routed through the global injection queue since library init.
+    pub injects: u64,
 }

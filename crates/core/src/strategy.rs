@@ -106,4 +106,15 @@ impl BlockStrategy for MtStrategy {
             None => sunmt_sys::task::gettid(),
         }
     }
+
+    fn lwp_hint(&self) -> u32 {
+        // The hint names the LWP, not the thread: an adaptive waiter spins
+        // exactly while the *processor* running the holder stays busy,
+        // whichever thread the holder happens to be.
+        sunmt_lwp::current().running_hint()
+    }
+
+    fn lwp_running(&self, hint: u32) -> bool {
+        sunmt_lwp::hint_is_running(hint)
+    }
 }

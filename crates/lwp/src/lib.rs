@@ -29,10 +29,22 @@ pub mod registry;
 pub mod timer;
 
 use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parker::Parker;
+
+/// Size of the run-flag hint table. Slots are handed out round-robin and
+/// reused modulo this, so the hints stay merely advisory for processes with
+/// more than `RUN_SLOTS` concurrently-live LWPs — safe, because a wrong
+/// answer only mis-sizes an adaptive mutex's spin phase.
+const RUN_SLOTS: usize = 1024;
+
+/// One cell per LWP slot: 0 while the LWP is (presumed) on a processor,
+/// 1 while its parker has it asleep in the kernel or it has exited.
+static RUN_FLAGS: [AtomicU32; RUN_SLOTS] = [const { AtomicU32::new(0) }; RUN_SLOTS];
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 /// The kernel-visible identity of an LWP.
 ///
@@ -46,6 +58,8 @@ pub struct LwpId(pub u32);
 pub struct LwpState {
     id: LwpId,
     park: Parker,
+    /// Index of this LWP's cell in the run-flag hint table.
+    slot: usize,
 }
 
 impl LwpState {
@@ -59,6 +73,11 @@ impl LwpState {
     pub fn parker(&self) -> &Parker {
         &self.park
     }
+
+    /// An opaque, non-zero "which LWP am I" hint for [`hint_is_running`].
+    pub fn running_hint(&self) -> u32 {
+        self.slot as u32 + 1
+    }
 }
 
 /// TLS cell owning this host thread's LWP identity. Its drop at host-thread
@@ -71,6 +90,9 @@ impl Drop for Registered {
         // Runs during TLS teardown: the probe degrades gracefully (counter
         // only) if the tracer's own TLS is already gone.
         sunmt_trace::probe!(sunmt_trace::Tag::LwpExit, self.0.id.0);
+        // A dead LWP is not running; spinners waiting on its hint should
+        // stop immediately rather than burn out their budget.
+        RUN_FLAGS[self.0.slot].store(1, Ordering::Release);
         registry::global().lwp_exited();
     }
 }
@@ -80,10 +102,30 @@ thread_local! {
 }
 
 fn make_state() -> Arc<LwpState> {
-    Arc::new(LwpState {
+    let slot = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % RUN_SLOTS;
+    let state = Arc::new(LwpState {
         id: LwpId(sunmt_sys::task::gettid()),
         park: Parker::new(),
-    })
+        slot,
+    });
+    // The parker raises this cell while the LWP sleeps in the kernel, which
+    // is what makes `hint_is_running` answer "is the owner on a processor".
+    state.park.bind_run_flag(&RUN_FLAGS[slot]);
+    state
+}
+
+/// Whether the LWP behind `hint` (a [`LwpState::running_hint`] value) is
+/// believed to be running on a processor right now.
+///
+/// This is the user-level stand-in for the kernel query the paper's
+/// adaptive locks make ("spin if the owner is currently running"). It is a
+/// best-effort hint: zero hints, recycled slots and LWPs blocked in plain
+/// system calls all degrade to a conservative answer, and callers bound the
+/// damage with a spin cap either way.
+pub fn hint_is_running(hint: u32) -> bool {
+    // No hint (an owner that never published one) reads as running: the
+    // caller keeps spinning toward its cap instead of parking on a guess.
+    hint == 0 || RUN_FLAGS[(hint as usize - 1) % RUN_SLOTS].load(Ordering::Acquire) == 0
 }
 
 /// The calling LWP's state.
@@ -239,6 +281,27 @@ mod tests {
         })
         .expect("spawn");
         assert!(registry::global().counts().total > before);
+        lwp.join();
+    }
+
+    #[test]
+    fn running_hint_tracks_parked_state() {
+        // Hint 0 (no hint) must read as "running" — the conservative
+        // default that keeps an uninstrumented owner spin-worthy.
+        assert!(hint_is_running(0));
+        let lwp = Lwp::spawn(|| {
+            current().parker().park();
+        })
+        .expect("spawn");
+        let hint = lwp.state().running_hint();
+        assert_ne!(hint, 0);
+        // Wait for the LWP to actually reach the kernel park.
+        let t0 = std::time::Instant::now();
+        while hint_is_running(hint) && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        assert!(!hint_is_running(hint), "parked LWP still reads as running");
+        lwp.state().parker().unpark();
         lwp.join();
     }
 

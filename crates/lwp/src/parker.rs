@@ -1,6 +1,6 @@
 //! Kernel-level suspension of one LWP.
 
-use core::sync::atomic::{AtomicU32, Ordering};
+use core::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use core::time::Duration;
 
 use sunmt_sys::futex::{self, Scope};
@@ -14,9 +14,17 @@ const NOTIFIED: u32 = 1;
 /// `unpark` deposits the permit and wakes a blocked parker. This is how an
 /// idle LWP in the threads library's pool waits for work, and how a *bound*
 /// thread blocks — per the paper, blocking a bound thread blocks its LWP.
+///
+/// A parker may be bound to a *run flag* — a static cell the parker raises
+/// while its LWP is asleep in the kernel. The adaptive mutexes consult
+/// these flags (through the LWP registry's hint table) to decide whether a
+/// lock owner is still on a processor and worth spinning for.
 #[derive(Debug, Default)]
 pub struct Parker {
     word: AtomicU32,
+    /// Address of the bound run-flag cell (0 = unbound). Stored as a
+    /// usize so `new` stays const; the cell itself is `'static`.
+    run_flag: AtomicUsize,
 }
 
 impl Parker {
@@ -24,7 +32,21 @@ impl Parker {
     pub const fn new() -> Parker {
         Parker {
             word: AtomicU32::new(EMPTY),
+            run_flag: AtomicUsize::new(0),
         }
+    }
+
+    /// Binds the parker to a run-flag cell it raises while parked.
+    pub fn bind_run_flag(&self, flag: &'static AtomicU32) {
+        flag.store(0, Ordering::Release);
+        self.run_flag
+            .store(flag as *const AtomicU32 as usize, Ordering::Release);
+    }
+
+    fn flag(&self) -> Option<&'static AtomicU32> {
+        let addr = self.run_flag.load(Ordering::Acquire);
+        // SAFETY: only ever bound to a `'static` cell by `bind_run_flag`.
+        (addr != 0).then(|| unsafe { &*(addr as *const AtomicU32) })
     }
 
     /// Blocks the calling LWP until a permit is available, then consumes it.
@@ -34,8 +56,14 @@ impl Parker {
                 return;
             }
             sunmt_trace::probe!(sunmt_trace::Tag::LwpPark, &self.word as *const _ as usize);
+            if let Some(f) = self.flag() {
+                f.store(1, Ordering::Release);
+            }
             // Sleep only while no permit is pending.
             let _ = futex::wait(&self.word, EMPTY, Scope::Private);
+            if let Some(f) = self.flag() {
+                f.store(0, Ordering::Release);
+            }
         }
     }
 
@@ -45,7 +73,13 @@ impl Parker {
         if self.word.swap(EMPTY, Ordering::Acquire) == NOTIFIED {
             return true;
         }
+        if let Some(f) = self.flag() {
+            f.store(1, Ordering::Release);
+        }
         let _ = futex::wait_timeout(&self.word, EMPTY, Scope::Private, timeout);
+        if let Some(f) = self.flag() {
+            f.store(0, Ordering::Release);
+        }
         self.word.swap(EMPTY, Ordering::Acquire) == NOTIFIED
     }
 

@@ -15,8 +15,15 @@ const UNLOCKED: u32 = 0;
 const LOCKED: u32 = 1;
 const CONTENDED: u32 = 2;
 
-/// How long the adaptive variant busy-waits before sleeping.
+/// Spin budget for the adaptive variant when no owner-LWP hint is
+/// available (no threads library installed, or the `DEBUG` bit claims the
+/// owner word for holder identities).
 const ADAPTIVE_SPINS: u32 = 100;
+
+/// Hard cap on the adaptive spin phase even while the owner's LWP keeps
+/// reading as running — bounds the damage from stale hints and from owners
+/// blocked in places the run flags cannot see (plain system calls).
+const ADAPTIVE_SPIN_CAP: u32 = 4096;
 
 /// A SunOS-style mutual exclusion lock (`mutex_t`).
 ///
@@ -32,8 +39,12 @@ const ADAPTIVE_SPINS: u32 = 100;
 pub struct Mutex {
     word: AtomicU32,
     kind: AtomicU32,
-    /// Holder identity, maintained only by the `DEBUG` variant (zero =
-    /// untracked/unheld).
+    /// Holder identity (zero = untracked/unheld). The `DEBUG` variant
+    /// stores the holder's thread id here; otherwise the `ADAPTIVE` variant
+    /// stores the holder's LWP hint so waiters can ask the blocking
+    /// strategy whether the owner is still on a processor. When both bits
+    /// are set, `DEBUG` wins and the adaptive path falls back to a fixed
+    /// spin budget.
     owner: AtomicU32,
 }
 
@@ -79,9 +90,20 @@ impl Mutex {
             .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            if kind.is_adaptive() {
+                self.publish_owner_hint();
+            }
             return;
         }
         self.enter_slow();
+    }
+
+    /// Publishes which LWP the new holder runs on ("the information as to
+    /// whether the owner of a lock is running is maintained by the kernel";
+    /// here the holder volunteers it at acquire time).
+    #[inline]
+    fn publish_owner_hint(&self) {
+        self.owner.store(strategy::lwp_hint(), Ordering::Release);
     }
 
     #[cold]
@@ -135,12 +157,16 @@ impl Mutex {
             }
         }
         if kind.is_adaptive() {
-            // Adaptive variant: assume the owner is mid-critical-section on
-            // another processor and will release soon; burn a bounded number
-            // of cycles before paying for a sleep. (The paper's adaptive
-            // lock asks the kernel whether the owner's LWP is running; we
-            // approximate with a fixed spin budget.)
-            for _ in 0..ADAPTIVE_SPINS {
+            // Adaptive variant, per the paper: spin while the holder is
+            // running on another LWP (it is mid-critical-section and will
+            // release soon), sleep as soon as it is not (it cannot make
+            // progress, so spinning is pure waste). The holder published
+            // its LWP hint in `owner` at acquire time; `DEBUG` claims that
+            // word for holder identities, in which case we degrade to a
+            // small fixed budget.
+            let owner_hinted = !kind.is_debug();
+            let mut spins = 0u32;
+            loop {
                 if self.word.load(Ordering::Relaxed) == UNLOCKED
                     && self
                         .word
@@ -152,15 +178,41 @@ impl Mutex {
                         )
                         .is_ok()
                 {
+                    if owner_hinted {
+                        self.publish_owner_hint();
+                    }
+                    sunmt_trace::probe!(
+                        sunmt_trace::Tag::MutexSpin,
+                        &self.word as *const _ as usize,
+                        spins
+                    );
                     return;
                 }
                 core::hint::spin_loop();
+                spins += 1;
+                let keep_spinning = if owner_hinted {
+                    spins < ADAPTIVE_SPIN_CAP
+                        && strategy::lwp_running(self.owner.load(Ordering::Acquire))
+                } else {
+                    spins < ADAPTIVE_SPINS
+                };
+                if !keep_spinning {
+                    break;
+                }
             }
+            sunmt_trace::probe!(
+                sunmt_trace::Tag::MutexSpin,
+                &self.word as *const _ as usize,
+                spins
+            );
         }
         // Sleep path: announce contention so the releaser knows to wake us.
         let shared = kind.is_shared();
         while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
             strategy::park(&self.word, CONTENDED, shared);
+        }
+        if kind.is_adaptive() && !kind.is_debug() {
+            self.publish_owner_hint();
         }
     }
 
@@ -175,8 +227,13 @@ impl Mutex {
             .word
             .compare_exchange(UNLOCKED, LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
-        if ok && self.kind().is_debug() {
-            self.owner.store(strategy::self_id(), Ordering::Release);
+        if ok {
+            let kind = self.kind();
+            if kind.is_debug() {
+                self.owner.store(strategy::self_id(), Ordering::Release);
+            } else if kind.is_adaptive() {
+                self.publish_owner_hint();
+            }
         }
         ok
     }
@@ -197,6 +254,12 @@ impl Mutex {
                 me,
                 "DEBUG mutex: mutex_exit by a non-holder"
             );
+            self.owner.store(0, Ordering::Release);
+        } else if kind.is_adaptive() {
+            // Retract the hint *before* releasing the word: a spinner must
+            // never keep spinning on our hint after the next holder has
+            // taken over. A momentary zero hint reads as "running", which
+            // is the conservative direction.
             self.owner.store(0, Ordering::Release);
         }
         let prev = self.word.swap(UNLOCKED, Ordering::Release);

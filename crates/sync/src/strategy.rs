@@ -62,6 +62,22 @@ pub trait BlockStrategy: Sync {
     fn self_id(&self) -> u32 {
         sunmt_sys::task::gettid()
     }
+
+    /// An opaque hint naming the LWP the caller is executing on, published
+    /// by `ADAPTIVE` mutexes on acquire so waiters can ask
+    /// [`Self::lwp_running`] about the holder. Zero means "no hint"; the
+    /// default backend has no LWP bookkeeping, so that is all it offers.
+    fn lwp_hint(&self) -> u32 {
+        0
+    }
+
+    /// Whether the LWP behind a [`Self::lwp_hint`] value is believed to be
+    /// on a processor right now — the paper's "spin only while the owner is
+    /// running" query. Must err toward `true` (spin) when it cannot tell;
+    /// callers cap the spin either way.
+    fn lwp_running(&self, _hint: u32) -> bool {
+        true
+    }
 }
 
 /// The default strategy: block the calling LWP in the kernel.
@@ -162,6 +178,18 @@ pub fn yield_now() {
 #[inline]
 pub fn self_id() -> u32 {
     current().self_id()
+}
+
+/// The calling context's LWP hint (see [`BlockStrategy::lwp_hint`]).
+#[inline]
+pub fn lwp_hint() -> u32 {
+    current().lwp_hint()
+}
+
+/// Whether the hinted LWP is running (see [`BlockStrategy::lwp_running`]).
+#[inline]
+pub fn lwp_running(hint: u32) -> bool {
+    current().lwp_running(hint)
 }
 
 #[cfg(test)]

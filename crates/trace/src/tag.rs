@@ -90,10 +90,19 @@ pub enum Tag {
     /// Readers/writer lock released (`a` = lock id/address, `b` = 0 reader
     /// / 1 writer).
     RwRelease = 35,
+    /// A thread was stolen from another LWP's run-queue shard (`a` =
+    /// thread id, `b` = victim shard index).
+    RunqSteal = 36,
+    /// A thread was enqueued on the global injection queue — a wakeup
+    /// from a non-LWP context or a shard overflow (`a` = thread id).
+    RunqInject = 37,
+    /// Adaptive mutex finished its spin phase (`a` = lock address, `b` =
+    /// spins burned before acquiring or falling back to the sleep path).
+    MutexSpin = 38,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 36;
+pub const NTAGS: usize = 39;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -134,6 +143,9 @@ impl Tag {
         Tag::SemaPost,
         Tag::RwAcquire,
         Tag::RwRelease,
+        Tag::RunqSteal,
+        Tag::RunqInject,
+        Tag::MutexSpin,
     ];
 
     /// Decodes a stored discriminant.
@@ -180,6 +192,9 @@ impl Tag {
             Tag::SemaPost => "sema-post",
             Tag::RwAcquire => "rw-acquire",
             Tag::RwRelease => "rw-release",
+            Tag::RunqSteal => "runq-steal",
+            Tag::RunqInject => "runq-inject",
+            Tag::MutexSpin => "mutex-spin",
         }
     }
 }

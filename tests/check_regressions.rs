@@ -38,6 +38,24 @@ const CORPUS: &[(&str, &str)] = &[
     ("v1/mutex_basic/default/1.1.1.1.1.1.1.1.1", ""),
     ("v1/cv_pingpong/shared/1.1.0.1", ""),
     ("v1/rw_tryupgrade/default/1.1.1.1.1", ""),
+    // The lockless-steal negative: both thieves peek shard 0's head
+    // before either removes it, and the same item dispatches twice.
+    // Found by the exhaustive sweep.
+    (
+        "v1/neg_runq_double_steal/default/1.1.0.1.1.1.1.1.0.0",
+        "dispatched twice",
+    ),
+    (
+        "v1/neg_runq_double_steal/shared/1.1.0.1.1.1.1.1.0.0",
+        "dispatched twice",
+    ),
+    // Sharded-runq handoff: shard 1's dispatcher steals shard 0's item,
+    // shard 0's dispatcher parks idle, and the injected item wakes it —
+    // steal, park, and injection wakeup in one passing schedule.
+    ("v1/runq_steal/default/0.1", ""),
+    // Adaptive mutex: the second thread spins while the holder runs,
+    // then acquires cleanly on release.
+    ("v1/mutex_adaptive/default/0.1.0.1.0.1", ""),
 ];
 
 #[test]
