@@ -364,6 +364,88 @@ pub fn catalogue() -> Vec<Model> {
                 ],
             )
         },
+        // --------------------------------------------- wait morphing
+        Model {
+            mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            preemption_bound: Some(3),
+            min_schedules: 1_000,
+            variants: vec![Variant::Default],
+            ..base(
+                "cv_morph",
+                "broadcast under the mutex wakes one waiter and morphs the rest onto it",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                    ],
+                    vec![
+                        Work(1),
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvBroadcastMorph { cv: 0, mutex: 0 },
+                        MutexExit(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 2,
+            cvs: 2,
+            flags: 2,
+            preemption_bound: Some(3),
+            min_schedules: 1_000,
+            variants: vec![Variant::Default],
+            ..base(
+                "sleepq_shard",
+                "two independent monitors morph concurrently on separate sleep-queue shards",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(1),
+                        WaitUntilFlag {
+                            flag: 1,
+                            cv: 1,
+                            mutex: 1,
+                        },
+                        MutexExit(1),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvBroadcastMorph { cv: 0, mutex: 0 },
+                        MutexExit(0),
+                        MutexEnter(1),
+                        SetFlag(1),
+                        CvBroadcastMorph { cv: 1, mutex: 1 },
+                        MutexExit(1),
+                    ],
+                ],
+            )
+        },
         // ------------------------------------------- sharded run queue
         Model {
             runq_shards: 2,
@@ -444,6 +526,51 @@ pub fn catalogue() -> Vec<Model> {
         },
         Model {
             mutexes: 1,
+            cvs: 1,
+            flags: 1,
+            preemption_bound: Some(3),
+            expect: Expect::FailContaining("timed_out=true"),
+            variants: vec![Variant::Default],
+            ..base(
+                "neg_cv_morph_timeout",
+                "cv_timedwait reports ETIME after a broadcast already morphed it onto the mutex",
+                vec![
+                    vec![
+                        MutexEnter(0),
+                        WaitUntilFlag {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                        },
+                        MutexExit(0),
+                    ],
+                    // The racy timed waiter: its deadline (100) can only
+                    // fire once everything is blocked — i.e. after the
+                    // broadcast morphed it onto the mutex the sleeper
+                    // below still holds.
+                    vec![
+                        MutexEnter(0),
+                        TimedWaitUntilFlagRacy {
+                            flag: 0,
+                            cv: 0,
+                            mutex: 0,
+                            timeout: 100,
+                        },
+                        AssertTimedOut(false),
+                        MutexExit(0),
+                    ],
+                    vec![
+                        MutexEnter(0),
+                        SetFlag(0),
+                        CvBroadcastMorph { cv: 0, mutex: 0 },
+                        SleepFor(1_000),
+                        MutexExit(0),
+                    ],
+                ],
+            )
+        },
+        Model {
+            mutexes: 1,
             expect: Expect::FailContaining("recursive"),
             variants: vec![Variant::Debug],
             ..base(
@@ -505,7 +632,9 @@ mod tests {
                         }
                         SyncOp::CvWaitOnce { cv, mutex }
                         | SyncOp::WaitUntilFlag { cv, mutex, .. }
-                        | SyncOp::TimedWaitUntilFlag { cv, mutex, .. } => {
+                        | SyncOp::TimedWaitUntilFlag { cv, mutex, .. }
+                        | SyncOp::TimedWaitUntilFlagRacy { cv, mutex, .. }
+                        | SyncOp::CvBroadcastMorph { cv, mutex } => {
                             assert!(cv < m.cvs && mutex < m.mutexes, "{}", m.name)
                         }
                         SyncOp::CvSignal(i) | SyncOp::CvBroadcast(i) => {
@@ -539,7 +668,7 @@ mod tests {
                         SyncOp::RunqInjectPush => {
                             assert!(m.runq_shards > 0, "{}: injection without a runq", m.name)
                         }
-                        SyncOp::Work(_) | SyncOp::AssertTimedOut(_) => {}
+                        SyncOp::Work(_) | SyncOp::AssertTimedOut(_) | SyncOp::SleepFor(_) => {}
                     }
                 }
             }

@@ -106,6 +106,20 @@ impl Stack {
     pub fn usable(&self) -> usize {
         self.total - self.guard
     }
+
+    /// Tells the kernel the usable pages may be lazily reclaimed
+    /// (`MADV_FREE`). The mapping — and the guard page's `PROT_NONE` —
+    /// stays intact; the next thread to run on this stack just writes over
+    /// whatever survived. Called on stacks parked deep in the cache, so an
+    /// idle process's stack hoard costs address space, not memory.
+    pub fn advise_free(&self) {
+        if self.owned {
+            // SAFETY: `limit()..top()` is a page-aligned sub-range of our
+            // own mapping (the guard page is excluded), and a parked stack
+            // has no live contents anyone will read.
+            let _ = unsafe { mem::advise(self.limit(), self.usable(), mem::Advice::FREE) };
+        }
+    }
 }
 
 impl Drop for Stack {
@@ -118,37 +132,94 @@ impl Drop for Stack {
     }
 }
 
+/// How many of the hottest cached stacks keep their pages. The cache is a
+/// LIFO, so the top `CACHE_LOW_WATER` entries are the ones the next
+/// creates will pop; everything that sinks deeper than that has its pages
+/// handed back to the kernel with `MADV_FREE` — a burst of thread churn
+/// can strand hundreds of 128 KiB stacks here, and below the waterline
+/// their memory is pure waste. The mark is deliberately generous (8 MiB
+/// of hot stacks): reusing an advised stack pays zero-fill faults, so
+/// advising inside a cache depth a workload actually cycles through
+/// (Figure 5 circulates dozens) would silently tax every create.
+pub const CACHE_LOW_WATER: usize = 64;
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    free: Vec<Stack>,
+    /// `free[..advised]` have had their pages `MADV_FREE`d. Tracking the
+    /// boundary keeps the advise one-shot per entry: a cache hovering
+    /// around the waterline must not re-advise the same cold stack on
+    /// every put.
+    advised: usize,
+}
+
 /// A free list of default-sized stacks.
 ///
 /// Thread exit returns the stack here; thread creation takes one without
 /// entering the kernel, which is what makes unbound thread creation two
-/// orders of magnitude cheaper than LWP creation in Figure 5.
+/// orders of magnitude cheaper than LWP creation in Figure 5. The per-LWP
+/// magazines in the core crate batch their refills and drains through this
+/// depot ([`Self::take_batch`]/[`Self::put_batch`]), paying its lock once
+/// per batch rather than once per create/exit.
 #[derive(Debug, Default)]
 pub struct StackCache {
-    free: Mutex<Vec<Stack>>,
+    inner: Mutex<CacheInner>,
 }
 
 impl StackCache {
     /// Creates an empty cache.
     pub const fn new() -> StackCache {
         StackCache {
-            free: Mutex::new(Vec::new()),
+            inner: Mutex::new(CacheInner {
+                free: Vec::new(),
+                advised: 0,
+            }),
         }
     }
 
     /// Takes a cached default stack, or maps a fresh one.
     pub fn take(&self) -> Result<Stack, Errno> {
-        if let Some(s) = self.free.lock().expect("stack cache poisoned").pop() {
-            return Ok(s);
+        let popped = {
+            let mut c = self.inner.lock().expect("stack cache poisoned");
+            let s = c.free.pop();
+            c.advised = c.advised.min(c.free.len());
+            s
+        };
+        match popped {
+            Some(s) => Ok(s),
+            None => Stack::new(DEFAULT_STACK_SIZE),
         }
-        Stack::new(DEFAULT_STACK_SIZE)
+    }
+
+    /// Takes up to `n` cached default stacks (possibly none); never maps.
+    pub fn take_batch(&self, n: usize) -> Vec<Stack> {
+        let mut c = self.inner.lock().expect("stack cache poisoned");
+        let at = c.free.len() - n.min(c.free.len());
+        let batch = c.free.split_off(at);
+        c.advised = c.advised.min(c.free.len());
+        batch
     }
 
     /// Returns a default-sized stack to the cache; other sizes are unmapped
     /// and caller-supplied regions are simply released (never freed).
+    /// Entries pushed deeper than [`CACHE_LOW_WATER`] below the top have
+    /// their pages `MADV_FREE`d — the hot top of the LIFO stays resident
+    /// for the next creates.
     pub fn put(&self, stack: Stack) {
-        if stack.is_owned() && stack.usable() == DEFAULT_STACK_SIZE {
-            self.free.lock().expect("stack cache poisoned").push(stack);
+        self.put_batch(std::iter::once(stack));
+    }
+
+    /// Returns a batch of stacks under one lock hold; see [`Self::put`].
+    pub fn put_batch(&self, stacks: impl IntoIterator<Item = Stack>) {
+        let mut c = self.inner.lock().expect("stack cache poisoned");
+        for stack in stacks {
+            if stack.is_owned() && stack.usable() == DEFAULT_STACK_SIZE {
+                c.free.push(stack);
+            }
+        }
+        while c.free.len() > CACHE_LOW_WATER && c.advised < c.free.len() - CACHE_LOW_WATER {
+            c.free[c.advised].advise_free();
+            c.advised += 1;
         }
     }
 
@@ -159,13 +230,17 @@ impl StackCache {
         for _ in 0..n {
             v.push(Stack::new(DEFAULT_STACK_SIZE)?);
         }
-        self.free.lock().expect("stack cache poisoned").extend(v);
+        self.inner
+            .lock()
+            .expect("stack cache poisoned")
+            .free
+            .extend(v);
         Ok(())
     }
 
     /// Number of stacks currently cached.
     pub fn len(&self) -> usize {
-        self.free.lock().expect("stack cache poisoned").len()
+        self.inner.lock().expect("stack cache poisoned").free.len()
     }
 
     /// Whether the cache is empty.

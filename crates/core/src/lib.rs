@@ -69,6 +69,7 @@ pub mod types;
 
 pub mod runq;
 
+mod magazine;
 mod sched;
 mod sleepq;
 mod strategy;

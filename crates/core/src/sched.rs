@@ -24,7 +24,7 @@ use sunmt_trace::{probe, Tag};
 
 use crate::runq::{unpoisoned, Placement, ShardedRunQueue};
 use crate::signals::Disposition;
-use crate::sleepq::SleepTable;
+use crate::sleepq::ShardedSleepQueue;
 use crate::thread::Thread;
 use crate::types::{CreateFlags, MtError, Result, ThreadId, ThreadState};
 
@@ -67,11 +67,15 @@ pub(crate) struct Mt {
     pub waitable: AtomicUsize,
     /// The sharded run queues: one per-LWP shard plus the injection queue.
     pub runq: ShardedRunQueue<Arc<Thread>>,
-    pub sleepers: Mutex<SleepTable>,
+    /// The hashed sleep queues (their shard locks are internal).
+    pub sleepers: ShardedSleepQueue,
     /// Pool LWPs currently parked with nothing to run, with their home
     /// shard so a push can wake the LWP whose queue received the work.
     pub idle: Mutex<Vec<(Arc<LwpState>, usize)>>,
     pub stacks: StackCache,
+    /// Retired unbound thread objects awaiting reuse — the global depot
+    /// behind the per-LWP thread magazines ([`crate::magazine`]).
+    pub thread_depot: Mutex<Vec<Arc<Thread>>>,
     next_id: AtomicU32,
     pub pool_count: AtomicUsize,
     /// Pool LWPs currently inside a `blocking()` region (their thread is
@@ -108,9 +112,10 @@ pub(crate) fn mt() -> &'static Mt {
             anywait: Sema::new(0, SyncType::DEFAULT),
             waitable: AtomicUsize::new(0),
             runq: ShardedRunQueue::new(default_shards()),
-            sleepers: Mutex::new(SleepTable::new()),
+            sleepers: ShardedSleepQueue::new(),
             idle: Mutex::new(Vec::new()),
             stacks: StackCache::new(),
+            thread_depot: Mutex::new(Vec::new()),
             next_id: AtomicU32::new(1),
             pool_count: AtomicUsize::new(0),
             pool_blocked: AtomicUsize::new(0),
@@ -268,20 +273,35 @@ pub(crate) fn create_thread(
 
     let stack = stack.expect("unbound thread creation requires a stack");
     let cont = new_continuation(stack, f);
-    let t = Thread::new(
-        id,
-        flags,
-        false,
-        priority,
-        sigmask,
-        Some(cont),
-        tls_len,
-        if stopped {
-            ThreadState::Stopped
-        } else {
-            ThreadState::Runnable
-        },
-    );
+    let initial = if stopped {
+        ThreadState::Stopped
+    } else {
+        ThreadState::Runnable
+    };
+    // Steady state recycles a retired thread object from the LWP's magazine
+    // instead of allocating one; `take_thread` guarantees sole ownership.
+    let t = match crate::magazine::take_thread(m) {
+        Some(mut t) => {
+            Arc::get_mut(&mut t)
+                .expect("magazine returned a shared thread object")
+                .reinit(id, flags, priority, sigmask, cont, tls_len, initial);
+            probe!(Tag::MagazineHit, 1u64, 0u64);
+            t
+        }
+        None => {
+            probe!(Tag::MagazineMiss, 1u64, 0u64);
+            Thread::new(
+                id,
+                flags,
+                false,
+                priority,
+                sigmask,
+                Some(cont),
+                tls_len,
+                initial,
+            )
+        }
+    };
     m.threads
         .lock()
         .expect("thread registry poisoned")
@@ -580,13 +600,14 @@ fn commit_sleep(
     expected: u32,
     deadline: Option<core::time::Duration>,
 ) {
-    let mut tbl = unpoisoned(&mt().sleepers);
+    let (shard, mut tbl) = mt().sleepers.shard(addr);
     // SAFETY: The park contract (inherited from the futex-shaped
     // BlockStrategy) requires `addr` to point at a live AtomicU32 for as
     // long as anyone may sleep on it.
     let word = unsafe { &*(addr as *const AtomicU32) };
     if word.load(Ordering::SeqCst) == expected && !t.stop_requested.load(Ordering::SeqCst) {
         probe!(Tag::Sleep, t.id.0, addr);
+        probe!(Tag::SleepqShard, addr, shard);
         t.set_state(ThreadState::Sleeping);
         tbl.insert(addr, Arc::clone(&t));
         drop(tbl);
@@ -610,7 +631,11 @@ fn commit_sleep(
 /// the *same* word can at worst cause a spurious wake, which the
 /// futex-shaped park contract already permits.
 pub(crate) fn timeout_wakeup(addr: usize, t: Arc<Thread>) {
-    let removed = unpoisoned(&mt().sleepers).remove_thread_at(addr, &t);
+    // A waiter that a broadcast morphed onto its mutex's queue no longer
+    // sleeps on `addr`, so a deadline armed at the condvar simply misses
+    // here — the thread's wakeup now belongs to the mutex, and reporting a
+    // timeout after consuming it would be the classic requeue race.
+    let removed = mt().sleepers.remove_thread_at(addr, &t);
     if removed {
         mt().timeout_wakeups.fetch_add(1, Ordering::Relaxed);
         probe!(Tag::SleepTimeout, t.id.0, addr);
@@ -639,7 +664,7 @@ fn reap(t: Arc<Thread>) {
     if let Some(cont) = cont {
         // SAFETY: The continuation's closure ran to completion (Exit action).
         let stack = unsafe { cont.into_stack() };
-        mt().stacks.put(stack);
+        crate::magazine::put_stack(&mt().stacks, stack);
     }
     finish_thread_common(&t);
 }
@@ -666,6 +691,9 @@ pub(crate) fn finish_thread_common(t: &Arc<Thread>) {
             .lock()
             .expect("thread registry poisoned")
             .remove(&t.id.0);
+        if !t.bound {
+            crate::magazine::retire_thread(m, Arc::clone(t));
+        }
     }
 }
 
@@ -688,6 +716,15 @@ fn finish_reap(t: &Arc<Thread>) {
         .expect("thread registry poisoned")
         .remove(&t.id.0);
     m.waitable.fetch_sub(1, Ordering::SeqCst);
+    if !t.bound {
+        crate::magazine::retire_thread(m, Arc::clone(t));
+    }
+}
+
+/// Takes a default-sized stack through the calling LWP's magazine (the
+/// depot is the process [`StackCache`]).
+pub(crate) fn take_default_stack() -> std::result::Result<Stack, sunmt_sys::Errno> {
+    crate::magazine::take_stack(&mt().stacks)
 }
 
 pub(crate) fn wait_specific(id: ThreadId) -> Result<ThreadId> {
@@ -800,7 +837,7 @@ fn stop_other(t: Arc<Thread>) -> Result<()> {
                 // It was dispatched under us; re-observe.
             }
             ThreadState::Sleeping => {
-                let removed = unpoisoned(&mt().sleepers).remove_thread(&t);
+                let removed = mt().sleepers.remove_thread(&t);
                 if removed {
                     commit_stop(Arc::clone(&t));
                     return Ok(());
@@ -877,9 +914,20 @@ pub(crate) fn yield_current() {
 }
 
 pub(crate) fn user_unpark(addr: usize, n: usize) {
-    let woken = unpoisoned(&mt().sleepers).take(addr, n);
+    let woken = mt().sleepers.take(addr, n);
     for t in woken {
         probe!(Tag::Wakeup, t.id.0, addr);
+        make_runnable(t);
+    }
+}
+
+/// Wait morphing, user-level half: wakes up to `wake_n` threads sleeping
+/// on `from` and silently transfers the rest onto `to`'s sleep queue, to be
+/// woken one at a time by `to`'s unparks (the mutex release path).
+pub(crate) fn user_requeue(from: usize, to: usize, wake_n: usize) {
+    let woken = mt().sleepers.requeue(from, to, wake_n);
+    for t in woken {
+        probe!(Tag::Wakeup, t.id.0, from);
         make_runnable(t);
     }
 }
@@ -953,17 +1001,19 @@ fn sigwaiting_handler() {
 ///
 /// Lock ordering (the library's canonical order — nothing else in the
 /// library holds two of these at once, so this function defines it):
-/// `sleepers` → `idle` → `threads`, with any single run-queue shard lock
-/// strictly innermost. Any future code that must nest them has to follow
-/// the same order.
+/// `idle` → `threads`, with any single run-queue shard lock strictly
+/// innermost. Sleep-queue shard locks are self-contained (taken in index
+/// order when `requeue` needs two, never nested with the locks above) and
+/// `sleeping` below sums them shard by shard before `idle` is taken. Any
+/// future code that must nest them has to follow the same order.
 pub fn stats() -> SchedStats {
     let m = mt();
-    let sleepers = unpoisoned(&m.sleepers);
+    let sleeping = m.sleepers.len();
     let idle = unpoisoned(&m.idle);
     let threads = unpoisoned(&m.threads);
     SchedStats {
         runnable: m.runq.len(),
-        sleeping: sleepers.len(),
+        sleeping,
         pool_lwps: m.pool_count.load(Ordering::SeqCst),
         idle_lwps: idle.len(),
         live_threads: threads.len(),

@@ -4,14 +4,31 @@
 //! unknown to the kernel" — an unbound thread blocking on one is recorded
 //! here, in process memory, and woken here, without any kernel involvement.
 //! The table is keyed by the *address* of the variable's wait word, exactly
-//! like the kernel's futex hash but in user space.
+//! like the kernel's futex hash but in user space — and, like SunOS's hashed
+//! sleep queues, it is split into address-hashed shards so threads blocking
+//! on unrelated variables never touch the same lock.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::runq::unpoisoned;
 use crate::thread::Thread;
 
-/// Address-keyed queues of sleeping threads.
+/// Number of sleep-queue shards. A fixed power of two: the hash below
+/// selects a shard with a multiply and a shift, and 64 queues is enough
+/// that unrelated variables essentially never collide while a full-table
+/// scan (only `remove_thread`, a stop/kill path) stays trivial.
+pub const SLEEPQ_SHARDS: usize = 64;
+
+/// Maps a wait-word address to its shard (Fibonacci hashing: the golden
+/// ratio multiplier diffuses the low bits — word addresses share alignment
+/// — into the top six, which select the shard).
+#[inline]
+pub fn shard_of(addr: usize) -> usize {
+    addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58
+}
+
+/// Address-keyed queues of sleeping threads (one shard's worth).
 #[derive(Default)]
 pub struct SleepTable {
     queues: HashMap<usize, Vec<Arc<Thread>>>,
@@ -94,6 +111,96 @@ impl SleepTable {
     }
 }
 
+/// The process sleep queue: [`SLEEPQ_SHARDS`] independently locked
+/// [`SleepTable`]s selected by wait-word address.
+pub struct ShardedSleepQueue {
+    shards: Box<[Mutex<SleepTable>]>,
+}
+
+impl Default for ShardedSleepQueue {
+    fn default() -> ShardedSleepQueue {
+        ShardedSleepQueue::new()
+    }
+}
+
+impl ShardedSleepQueue {
+    /// Creates the sharded queue, all shards empty.
+    pub fn new() -> ShardedSleepQueue {
+        ShardedSleepQueue {
+            shards: (0..SLEEPQ_SHARDS)
+                .map(|_| Mutex::new(SleepTable::new()))
+                .collect(),
+        }
+    }
+
+    /// Locks and returns `addr`'s shard (plus its index, for tracing).
+    ///
+    /// The dispatcher uses this to re-check the wait word and insert the
+    /// sleeper under one hold, which is what makes a racing wake unable to
+    /// slip between the check and the insert.
+    pub fn shard(&self, addr: usize) -> (usize, MutexGuard<'_, SleepTable>) {
+        let i = shard_of(addr);
+        (i, unpoisoned(&self.shards[i]))
+    }
+
+    /// Removes up to `n` threads sleeping on `addr`, FIFO.
+    pub fn take(&self, addr: usize, n: usize) -> Vec<Arc<Thread>> {
+        self.shard(addr).1.take(addr, n)
+    }
+
+    /// Removes a specific thread wherever it sleeps (full scan across the
+    /// shards); returns whether it was found.
+    pub fn remove_thread(&self, t: &Arc<Thread>) -> bool {
+        self.shards.iter().any(|s| unpoisoned(s).remove_thread(t))
+    }
+
+    /// Removes a specific thread only if it sleeps on `addr`.
+    pub fn remove_thread_at(&self, addr: usize, t: &Arc<Thread>) -> bool {
+        self.shard(addr).1.remove_thread_at(addr, t)
+    }
+
+    /// Wait morphing, user-level half: dequeues up to `wake_n` threads
+    /// sleeping on `from` (returned to the caller to be made runnable) and
+    /// transfers every remaining `from`-sleeper onto `to`'s queue *still
+    /// asleep* — they are woken one at a time by `to`'s unparks.
+    ///
+    /// When the two addresses hash to different shards, both locks are
+    /// taken in index order (the only place two sleep-queue shards are ever
+    /// held at once, so the order defines itself).
+    pub fn requeue(&self, from: usize, to: usize, wake_n: usize) -> Vec<Arc<Thread>> {
+        let fi = shard_of(from);
+        let ti = shard_of(to);
+        if fi == ti {
+            let mut g = unpoisoned(&self.shards[fi]);
+            let woken = g.take(from, wake_n);
+            for t in g.take(from, usize::MAX) {
+                g.insert(to, t);
+            }
+            return woken;
+        }
+        let (mut gf, mut gt) = if fi < ti {
+            let gf = unpoisoned(&self.shards[fi]);
+            let gt = unpoisoned(&self.shards[ti]);
+            (gf, gt)
+        } else {
+            let gt = unpoisoned(&self.shards[ti]);
+            let gf = unpoisoned(&self.shards[fi]);
+            (gf, gt)
+        };
+        let woken = gf.take(from, wake_n);
+        for t in gf.take(from, usize::MAX) {
+            gt.insert(to, t);
+        }
+        woken
+    }
+
+    /// Total number of sleeping threads (locks each shard in turn, so a
+    /// concurrent transition can make the sum lag by one; diagnostic use).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| unpoisoned(s).len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +243,71 @@ mod tests {
         assert!(tbl.remove_thread(&b));
         assert!(!tbl.remove_thread(&b));
         assert_eq!(tbl.len(), 1);
+    }
+
+    #[test]
+    fn shard_hash_is_in_range_and_spreads() {
+        let mut seen = std::collections::HashSet::new();
+        // Word addresses in practice are 4-byte aligned and often share
+        // high bits (same heap region); the hash must still spread them.
+        for i in 0..1024usize {
+            let s = shard_of(0x7f00_0000_0000 + i * 4);
+            assert!(s < SLEEPQ_SHARDS);
+            seen.insert(s);
+        }
+        assert!(seen.len() > SLEEPQ_SHARDS / 2, "hash collapsed: {seen:?}");
+    }
+
+    #[test]
+    fn sharded_queue_round_trips_across_shards() {
+        let q = ShardedSleepQueue::new();
+        let (a, b) = (mk(), mk());
+        let addr_a = 0x1000;
+        // Find an address on a different shard than `addr_a`.
+        let addr_b = (1..)
+            .map(|i| 0x1000 + i * 4)
+            .find(|&x| shard_of(x) != shard_of(addr_a))
+            .unwrap();
+        q.shard(addr_a).1.insert(addr_a, Arc::clone(&a));
+        q.shard(addr_b).1.insert(addr_b, Arc::clone(&b));
+        assert_eq!(q.len(), 2);
+        assert!(q.remove_thread_at(addr_b, &b));
+        assert!(!q.remove_thread_at(addr_b, &b));
+        assert!(q.remove_thread(&a));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn requeue_wakes_some_and_moves_the_rest() {
+        let q = ShardedSleepQueue::new();
+        let from = 0x2000;
+        let to = (1..)
+            .map(|i| 0x2000 + i * 4)
+            .find(|&x| shard_of(x) != shard_of(from))
+            .unwrap();
+        let threads: Vec<Arc<Thread>> = (0..4).map(|_| mk()).collect();
+        for t in &threads {
+            q.shard(from).1.insert(from, Arc::clone(t));
+        }
+        let woken = q.requeue(from, to, 1);
+        assert_eq!(woken.len(), 1);
+        assert!(Arc::ptr_eq(&woken[0], &threads[0]), "wake must be FIFO");
+        // The rest now sleep on `to`, in their original order.
+        let moved = q.take(to, usize::MAX);
+        assert_eq!(moved.len(), 3);
+        for (m, t) in moved.iter().zip(&threads[1..]) {
+            assert!(Arc::ptr_eq(m, t));
+        }
+        assert_eq!(q.len(), 0);
+        // Same-shard requeue works too.
+        let same = (1..)
+            .map(|i| from + i * 4)
+            .find(|&x| shard_of(x) == shard_of(from))
+            .unwrap();
+        q.shard(from).1.insert(from, Arc::clone(&threads[0]));
+        q.shard(from).1.insert(from, Arc::clone(&threads[1]));
+        let woken = q.requeue(from, same, 1);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(q.take(same, usize::MAX).len(), 1);
     }
 }

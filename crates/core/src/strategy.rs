@@ -86,7 +86,34 @@ impl BlockStrategy for MtStrategy {
         // waiters. Waking up to `n` of each may over-wake; the futex-shaped
         // contract permits spurious wakes and all callers re-check.
         sched::user_unpark(word.as_ptr() as usize, n as usize);
+        sunmt_trace::probe!(sunmt_trace::Tag::FutexWake, word.as_ptr() as usize, n);
         let _ = futex::wake(word, n, Scope::Private);
+    }
+
+    fn unpark_requeue(&self, word: &AtomicU32, expected: u32, target: &AtomicU32, shared: bool) {
+        debug_assert!(!shared);
+        // User-level half: wake one sleeper, move the rest from the cv's
+        // sleep queue onto the mutex's — still asleep, dispatched only as
+        // the mutex's own unparks release them.
+        sched::user_requeue(word.as_ptr() as usize, target.as_ptr() as usize, 1);
+        // Kernel half, for bound threads (and bare LWPs) parked on the same
+        // word. Both halves waking one waiter each is benign over-waking;
+        // the futex-shaped contract permits spurious wakes.
+        match futex::cmp_requeue(word, expected, 1, target, i32::MAX as u32, Scope::Private) {
+            Ok(_) => {
+                sunmt_trace::probe!(sunmt_trace::Tag::FutexWake, word.as_ptr() as usize, 1u32);
+            }
+            Err(_) => {
+                // `word` moved on under us (racing signaller): fall back to
+                // the pre-morphing wake-everyone behaviour.
+                sunmt_trace::probe!(
+                    sunmt_trace::Tag::FutexWake,
+                    word.as_ptr() as usize,
+                    u32::MAX
+                );
+                let _ = futex::wake_all(word, Scope::Private);
+            }
+        }
     }
 
     fn yield_now(&self) {

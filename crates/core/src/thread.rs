@@ -117,6 +117,52 @@ impl Thread {
         })
     }
 
+    /// Re-initializes a retired thread object taken from a magazine, giving
+    /// it a fresh identity — the allocation-free half of `thread_create`.
+    ///
+    /// The `&mut` access (obtained through `Arc::get_mut`) proves no other
+    /// reference — strong *or weak*, so no stale timeout entry either —
+    /// still sees this object, which is what makes the non-atomic resets
+    /// sound. `stop_event`, `exit_sema` and `stop_park` are quiescent at
+    /// retirement (exit/wait balanced their counts; unbound threads never
+    /// touch the parker) and are reused as-is.
+    #[allow(clippy::too_many_arguments)] // Mirrors Thread::new.
+    pub(crate) fn reinit(
+        &mut self,
+        id: ThreadId,
+        flags: CreateFlags,
+        priority: i32,
+        sigmask: u64,
+        cont: Continuation,
+        tls_len: usize,
+        initial_state: ThreadState,
+    ) {
+        self.id = id;
+        self.flags = flags;
+        self.bound = false;
+        *self.state.get_mut() = initial_state as u8;
+        *self.priority.get_mut() = priority;
+        *self.sigmask.get_mut() = sigmask;
+        *self.pending.get_mut() = 0;
+        *self.stop_requested.get_mut() = false;
+        *self.stop_waiters.get_mut() = 0;
+        *self.claimed.get_mut() = false;
+        *self.cont.get_mut() = Some(cont);
+        let tls = self.tls.get_mut();
+        if tls.len() == tls_len {
+            tls.fill(0);
+        } else {
+            *tls = vec![0u8; tls_len].into_boxed_slice();
+        }
+        *self.cpu_ns.get_mut() = 0;
+        *self.ctx_switches.get_mut() = 0;
+        *self.dispatch_cpu0_ns.get_mut() = 0;
+        *self.vt_deadline_ns.get_mut() = 0;
+        *self.vt_interval_ns.get_mut() = 0;
+        *self.prof_deadline_ns.get_mut() = 0;
+        *self.prof_interval_ns.get_mut() = 0;
+    }
+
     /// A minimal thread object for data-structure unit tests.
     #[cfg(test)]
     pub(crate) fn new_for_test(priority: i32, flags: CreateFlags) -> Arc<Thread> {
@@ -211,7 +257,7 @@ impl ThreadBuilder {
             None // Bound threads run on their LWP's own stack.
         } else {
             Some(match self.stack_size {
-                None => sched::mt().stacks.take().map_err(spawn_err)?,
+                None => sched::take_default_stack().map_err(spawn_err)?,
                 Some(n) => Stack::new(n).map_err(spawn_err)?,
             })
         };

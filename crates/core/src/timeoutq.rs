@@ -3,13 +3,15 @@
 //! A *kernel* timed block is one futex operation (`FUTEX_WAIT` with a
 //! timeout). A *user-level* sleep has no kernel timer attached — the thread
 //! is just an entry in the process's sleep table — so the library keeps its
-//! own deadline heap, serviced by one dedicated timer LWP. The timer LWP
-//! sleeps in the kernel until the earliest registered deadline (or until a
-//! new, earlier deadline is registered) and, on expiry, pulls the thread off
-//! its sleep queue and makes it runnable again, exactly as `cv_timedwait`
-//! needs. This mirrors the paper's division of labor: threads facilities
-//! stay in user space, with one LWP standing in for the kernel's timeout
-//! machinery.
+//! own deadline heaps, serviced by one dedicated timer LWP. The heaps are
+//! sharded by the same address hash as the sleep queues ([`crate::sleepq`]),
+//! so registering a deadline contends only with other sleeps on the same
+//! shard, never with the whole process. The timer LWP sleeps in the kernel
+//! until the earliest registered deadline (or until a new, earlier deadline
+//! is registered) and, on expiry, pulls the thread off its sleep queue and
+//! makes it runnable again, exactly as `cv_timedwait` needs. This mirrors
+//! the paper's division of labor: threads facilities stay in user space,
+//! with one LWP standing in for the kernel's timeout machinery.
 
 use core::time::Duration;
 use std::cmp::Reverse;
@@ -21,6 +23,8 @@ use sunmt_lwp::{registry, Lwp};
 use sunmt_sys::futex::{self, Scope};
 use sunmt_sys::time::monotonic_now;
 
+use crate::runq::unpoisoned;
+use crate::sleepq::{shard_of, SLEEPQ_SHARDS};
 use crate::thread::Thread;
 
 /// One armed deadline: wake `thread` (sleeping on `addr`) at `deadline`.
@@ -52,13 +56,22 @@ impl Ord for Entry {
     }
 }
 
+/// Sentinel for "no deadline armed" in the earliest-deadline cache.
+const NO_DEADLINE: u64 = u64::MAX;
+
 struct TimeoutQueue {
-    /// Min-heap of armed deadlines.
-    heap: Mutex<BinaryHeap<Reverse<Entry>>>,
+    /// Min-heaps of armed deadlines, one per sleep-queue shard.
+    shards: Box<[Mutex<BinaryHeap<Reverse<Entry>>>]>,
     /// Generation word the timer LWP futex-waits on; bumped (with a wake)
     /// whenever a registration makes the earliest deadline earlier.
     generation: AtomicU32,
     next_seq: AtomicU64,
+    /// The timer LWP's currently planned wakeup, as nanoseconds on the
+    /// monotonic clock ([`NO_DEADLINE`] = sleeping indefinitely). A
+    /// registration `fetch_min`s its own deadline in and kicks the timer
+    /// only when it actually lowered the plan, so unrelated registrations
+    /// cost no syscall.
+    earliest_ns: AtomicU64,
 }
 
 static QUEUE: OnceLock<&'static TimeoutQueue> = OnceLock::new();
@@ -67,9 +80,12 @@ static QUEUE: OnceLock<&'static TimeoutQueue> = OnceLock::new();
 fn queue() -> &'static TimeoutQueue {
     QUEUE.get_or_init(|| {
         let q: &'static TimeoutQueue = Box::leak(Box::new(TimeoutQueue {
-            heap: Mutex::new(BinaryHeap::new()),
+            shards: (0..SLEEPQ_SHARDS)
+                .map(|_| Mutex::new(BinaryHeap::new()))
+                .collect(),
             generation: AtomicU32::new(0),
             next_seq: AtomicU64::new(0),
+            earliest_ns: AtomicU64::new(NO_DEADLINE),
         }));
         let lwp = Lwp::spawn_named("sunmt-timer".to_string(), move || timer_loop(q))
             .expect("failed to spawn the timer LWP");
@@ -78,24 +94,30 @@ fn queue() -> &'static TimeoutQueue {
     })
 }
 
+fn ns_of(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(NO_DEADLINE - 1)
+}
+
 /// Arms a deadline for a thread that just committed a user-level sleep on
 /// `addr`. Called by the dispatcher after the sleep-table insert; the weak
 /// reference keeps an early wake (or thread exit) from pinning the thread.
 pub(crate) fn register(deadline: Duration, addr: usize, thread: Weak<Thread>) {
     let q = queue();
     let seq = q.next_seq.fetch_add(1, Ordering::Relaxed);
-    let earlier = {
-        let mut heap = q.heap.lock().expect("timeout heap poisoned");
-        let earlier = heap.peek().is_none_or(|Reverse(e)| deadline < e.deadline);
+    {
+        let mut heap = unpoisoned(&q.shards[shard_of(addr)]);
         heap.push(Reverse(Entry {
             deadline,
             seq,
             addr,
             thread,
         }));
-        earlier
-    };
-    if earlier {
+    }
+    // Publish after the push: once the timer observes the lowered plan (or
+    // the generation bump), a shard scan is guaranteed to find the entry.
+    let ns = ns_of(deadline);
+    let prev = q.earliest_ns.fetch_min(ns, Ordering::SeqCst);
+    if ns < prev {
         // The timer LWP may be sleeping until a later deadline (or forever);
         // bump the generation so its wait returns and it re-plans.
         q.generation.fetch_add(1, Ordering::SeqCst);
@@ -105,37 +127,46 @@ pub(crate) fn register(deadline: Duration, addr: usize, thread: Weak<Thread>) {
 
 fn timer_loop(q: &'static TimeoutQueue) {
     loop {
-        // Sample the generation *before* reading the heap: a registration
-        // that lands between the peek and the futex wait bumps it, and the
-        // wait then returns immediately instead of oversleeping.
+        // Sample the generation *before* touching the heaps: a registration
+        // that lands mid-scan bumps it, and the wait below then returns
+        // immediately instead of oversleeping.
         let generation = q.generation.load(Ordering::SeqCst);
+        // Reset the plan before scanning, so every registration during the
+        // scan sees `NO_DEADLINE` (or our merged value) and kicks us if the
+        // scan might have missed its shard.
+        q.earliest_ns.store(NO_DEADLINE, Ordering::SeqCst);
         let now = monotonic_now();
         let mut due = Vec::new();
-        let next = {
-            let mut heap = q.heap.lock().expect("timeout heap poisoned");
+        let mut next: Option<Duration> = None;
+        for shard in q.shards.iter() {
+            let mut heap = unpoisoned(shard);
             while heap.peek().is_some_and(|Reverse(e)| e.deadline <= now) {
                 due.push(heap.pop().expect("peeked entry vanished").0);
             }
-            heap.peek().map(|Reverse(e)| e.deadline)
-        };
+            if let Some(Reverse(e)) = heap.peek() {
+                if next.is_none_or(|n| e.deadline < n) {
+                    next = Some(e.deadline);
+                }
+            }
+        }
         for e in due {
             if let Some(t) = e.thread.upgrade() {
                 crate::sched::timeout_wakeup(e.addr, t);
             }
         }
+        // Merge our scan result into the plan; concurrent registrations may
+        // already have lowered it further, which `fetch_min` preserves.
+        let scan_ns = next.map_or(NO_DEADLINE, ns_of);
+        let prev = q.earliest_ns.fetch_min(scan_ns, Ordering::SeqCst);
+        let plan_ns = scan_ns.min(prev);
         // The timer LWP's sleep is an indefinite external wait in the
         // registry's SIGWAITING accounting, like any poll()-shaped block.
-        registry::global().indefinite_wait(|| match next {
-            Some(d) => {
-                let _ = futex::wait_timeout(
-                    &q.generation,
-                    generation,
-                    Scope::Private,
-                    d.saturating_sub(now),
-                );
-            }
-            None => {
+        registry::global().indefinite_wait(|| {
+            if plan_ns == NO_DEADLINE {
                 let _ = futex::wait(&q.generation, generation, Scope::Private);
+            } else {
+                let timeout = Duration::from_nanos(plan_ns).saturating_sub(now);
+                let _ = futex::wait_timeout(&q.generation, generation, Scope::Private, timeout);
             }
         });
     }

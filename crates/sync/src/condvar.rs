@@ -4,7 +4,7 @@
 //! true. Condition variables must be used in conjunction with a mutex lock.
 //! This implements a typical monitor."
 
-use core::sync::atomic::{AtomicU32, Ordering};
+use core::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use core::time::Duration;
 
 use crate::mutex::Mutex;
@@ -17,12 +17,26 @@ use crate::types::SyncType;
 /// crate. The wakeup-sequence word monotonically counts signals; a waiter
 /// sleeps only while the sequence still holds the value it sampled *before*
 /// releasing the mutex, which closes the classic lost-wakeup window.
+///
+/// Waiters also record which mutex they are associated with so that
+/// `cv_broadcast` can *morph* the herd: wake one waiter and transfer the
+/// rest onto the mutex's wait queue, to be released one at a time as the
+/// mutex frees instead of all stampeding it at once.
 #[repr(C)]
 #[derive(Debug, Default)]
 pub struct Condvar {
     seq: AtomicU32,
     waiters: AtomicU32,
     kind: AtomicU32,
+    /// Process id of the waiter that recorded `mutex_ptr` — the pointer is
+    /// only meaningful in that process's address space, which matters for
+    /// `SYNC_SHARED` variables mapped by several processes.
+    mutex_pid: AtomicU32,
+    /// Address of the [`Mutex`] the most recent waiter paired with this
+    /// variable (zero until the first wait). Written before the waiter
+    /// announces itself, so any broadcast that observes a waiter also
+    /// observes a usable pointer.
+    mutex_ptr: AtomicUsize,
 }
 
 impl Condvar {
@@ -32,6 +46,8 @@ impl Condvar {
             seq: AtomicU32::new(0),
             waiters: AtomicU32::new(0),
             kind: AtomicU32::new(kind.0),
+            mutex_pid: AtomicU32::new(0),
+            mutex_ptr: AtomicUsize::new(0),
         }
     }
 
@@ -42,6 +58,41 @@ impl Condvar {
         self.seq.store(0, Ordering::Release);
         self.waiters.store(0, Ordering::Release);
         self.kind.store(kind.0, Ordering::Release);
+        self.mutex_pid.store(0, Ordering::Release);
+        self.mutex_ptr.store(0, Ordering::Release);
+    }
+
+    /// Records the mutex a waiter is pairing with this variable.
+    ///
+    /// Called before the `waiters` increment: the increment is the release
+    /// operation that publishes these plain stores to any broadcaster that
+    /// sees the waiter.
+    #[inline]
+    fn record_mutex(&self, mutex: &Mutex) {
+        self.mutex_ptr
+            .store(mutex as *const Mutex as usize, Ordering::Relaxed);
+        self.mutex_pid.store(std::process::id(), Ordering::Relaxed);
+    }
+
+    /// Resolves the recorded mutex to a morphing target, or `None` when the
+    /// broadcast must fall back to waking everyone.
+    fn morph_target(&self, shared: bool) -> Option<&AtomicU32> {
+        let ptr = self.mutex_ptr.load(Ordering::Acquire);
+        if ptr == 0 {
+            return None;
+        }
+        if shared && self.mutex_pid.load(Ordering::Acquire) != std::process::id() {
+            // The pointer names an address in another process; following it
+            // here would be undefined behaviour. Shared variables are only
+            // morphed by broadcasts from the recording process.
+            return None;
+        }
+        // SAFETY: The pointer was recorded (in this address space) by a
+        // waiter that will reacquire that mutex on wakeup, so under the
+        // monitor discipline the mutex outlives every wait — and broadcasts
+        // race only with live waits.
+        let mutex = unsafe { &*(ptr as *const Mutex) };
+        mutex.requeue_target(shared)
     }
 
     #[inline]
@@ -68,6 +119,7 @@ impl Condvar {
     /// m.exit();
     /// ```
     pub fn wait(&self, mutex: &Mutex) {
+        self.record_mutex(mutex);
         // Announce before sampling the sequence: a signaler that misses
         // this increment necessarily bumped `seq` first, so our park
         // returns immediately on the value mismatch (no lost wakeup).
@@ -80,7 +132,10 @@ impl Condvar {
         sunmt_trace::probe!(sunmt_trace::Tag::CvBlock, &self.seq as *const _ as usize);
         strategy::park(&self.seq, seen, self.shared());
         self.waiters.fetch_sub(1, Ordering::SeqCst);
-        mutex.enter();
+        // `enter_cv`, not `enter`: a broadcast may have morphed siblings
+        // onto the mutex, and only a contended-style acquire keeps the
+        // release-one-wake-next chain going.
+        mutex.enter_cv();
     }
 
     /// `cv_timedwait()`: like [`Self::wait`], but gives up after `timeout`.
@@ -91,12 +146,16 @@ impl Condvar {
     /// means a signal arrived, not that this thread's condition holds.
     pub fn timed_wait(&self, mutex: &Mutex, timeout: Duration) -> bool {
         let deadline = sunmt_sys::time::monotonic_now() + timeout;
+        self.record_mutex(mutex);
         self.waiters.fetch_add(1, Ordering::SeqCst);
         let seen = self.seq.load(Ordering::SeqCst);
         mutex.exit();
         sunmt_trace::probe!(sunmt_trace::Tag::CvBlock, &self.seq as *const _ as usize);
         // The park carries no verdict (it may return spuriously), so the
-        // deadline is re-derived from the clock each round.
+        // deadline is re-derived from the clock each round. The `seq`
+        // check comes first: a waiter that was broadcast-morphed onto the
+        // mutex and then timed out *there* was still signaled — reporting
+        // a timeout after consuming the wakeup would strand a sibling.
         let signaled = loop {
             if self.seq.load(Ordering::SeqCst) != seen {
                 break true;
@@ -108,7 +167,7 @@ impl Condvar {
             strategy::park_timeout(&self.seq, seen, self.shared(), deadline - now);
         };
         self.waiters.fetch_sub(1, Ordering::SeqCst);
-        mutex.enter();
+        mutex.enter_cv();
         signaled
     }
 
@@ -126,11 +185,27 @@ impl Condvar {
     /// `cv_broadcast()`: wakes all threads blocked in [`Self::wait`].
     ///
     /// "Since `cv_broadcast()` causes all threads blocking on the condition
-    /// to re-contend for the mutex, it should be used with care."
+    /// to re-contend for the mutex, it should be used with care." This
+    /// implementation takes the care itself: when the associated mutex is
+    /// held, one waiter is woken and the rest are *requeued* onto the
+    /// mutex's wait queue (wait morphing), so each is released exactly as
+    /// the previous one exits instead of all stampeding the lock at once.
     pub fn broadcast(&self) {
-        self.seq.fetch_add(1, Ordering::SeqCst);
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            strategy::unpark(&self.seq, u32::MAX, self.shared());
+        let new = self.seq.fetch_add(1, Ordering::SeqCst).wrapping_add(1);
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let shared = self.shared();
+        match self.morph_target(shared) {
+            Some(target) => {
+                sunmt_trace::probe!(
+                    sunmt_trace::Tag::CvRequeue,
+                    &self.seq as *const _ as usize,
+                    target.as_ptr() as usize
+                );
+                strategy::unpark_requeue(&self.seq, new, target, shared);
+            }
+            None => strategy::unpark(&self.seq, u32::MAX, shared),
         }
     }
 }

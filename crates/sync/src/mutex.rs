@@ -216,6 +216,76 @@ impl Mutex {
         }
     }
 
+    /// Prepares this mutex as a wait-morphing target and returns its lock
+    /// word, or `None` when morphing is not applicable.
+    ///
+    /// On success the word has been marked `CONTENDED`, so the holder's
+    /// eventual `mutex_exit` is guaranteed to wake one of the waiters a
+    /// broadcast requeues onto it — that handoff chain is what keeps
+    /// morphed waiters live. Returns `None` when:
+    ///
+    /// * the variant is a spin lock (its waiters never sleep on the word,
+    ///   so there is no futex queue to morph onto),
+    /// * the mutex's scope disagrees with the condvar's (`shared`) — the
+    ///   kernel keys private and shared futex queues differently, so a
+    ///   cross-scope requeue would strand waiters, or
+    /// * the mutex is currently unlocked — no `mutex_exit` is coming, so
+    ///   requeued waiters could sleep forever; the caller must fall back
+    ///   to waking everyone.
+    pub(crate) fn requeue_target(&self, shared: bool) -> Option<&AtomicU32> {
+        let kind = self.kind();
+        if kind.is_spin() || kind.is_shared() != shared {
+            return None;
+        }
+        let mut cur = self.word.load(Ordering::Relaxed);
+        loop {
+            match cur {
+                UNLOCKED => return None,
+                CONTENDED => return Some(&self.word),
+                _ => match self.word.compare_exchange_weak(
+                    cur,
+                    CONTENDED,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(&self.word),
+                    Err(v) => cur = v,
+                },
+            }
+        }
+    }
+
+    /// Reacquires the lock after a condition-variable wait.
+    ///
+    /// Unlike `enter`, the sleep path always leaves the word `CONTENDED`:
+    /// a waiter coming back from a wait may have siblings that a broadcast
+    /// morphed onto this mutex, and only a `CONTENDED` release wakes the
+    /// next one. Taking the lock as `LOCKED` here could leave the rest of
+    /// the morphed chain asleep forever.
+    pub(crate) fn enter_cv(&self) {
+        let kind = self.kind();
+        if kind.is_spin() {
+            // Spin waiters are never morphed; the plain path is correct.
+            self.enter();
+            return;
+        }
+        if self
+            .word
+            .compare_exchange(UNLOCKED, CONTENDED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            let shared = kind.is_shared();
+            while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
+                strategy::park(&self.word, CONTENDED, shared);
+            }
+        }
+        if kind.is_debug() {
+            self.owner.store(strategy::self_id(), Ordering::Release);
+        } else if kind.is_adaptive() {
+            self.publish_owner_hint();
+        }
+    }
+
     /// `mutex_tryenter()`: acquires the lock only if that does not require
     /// blocking; returns whether it was acquired.
     ///

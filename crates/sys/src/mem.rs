@@ -80,6 +80,34 @@ pub unsafe fn protect(addr: *mut u8, len: usize, prot: Prot) -> Result<(), Errno
     check(ret).map(|_| ())
 }
 
+/// `madvise` advice values (`MADV_*`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Advice(pub u32);
+
+impl Advice {
+    /// The range's contents may be lazily discarded; pages read after the
+    /// advice return either the old data or zeroes, and a write cancels the
+    /// reclaim for that page. Cheaper than `MADV_DONTNEED` because nothing
+    /// happens until the kernel is actually under memory pressure.
+    pub const FREE: Advice = Advice(8);
+}
+
+/// Advises the kernel about the expected use of a mapping.
+///
+/// Used to return the memory of long-idle cached stacks to the system while
+/// keeping their address range (and guard-page protection) intact.
+///
+/// # Safety
+///
+/// `addr..addr+len` must lie within a mapping owned by the caller and must
+/// be page-aligned. With [`Advice::FREE`], the caller must treat the range's
+/// contents as undefined until rewritten.
+pub unsafe fn advise(addr: *mut u8, len: usize, advice: Advice) -> Result<(), Errno> {
+    // SAFETY: The caller guarantees the range is an owned mapping.
+    let ret = unsafe { syscall3(nr::MADVISE, addr as usize, len, advice.0 as usize) };
+    check(ret).map(|_| ())
+}
+
 /// Unmaps a mapping created by this module.
 ///
 /// # Safety
@@ -157,6 +185,22 @@ mod tests {
         let bytes = std::fs::read(&path).expect("read back");
         assert_eq!(bytes[10], 42, "store must be visible through the file");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn advise_free_keeps_mapping_usable() {
+        let len = 2 * PAGE_SIZE;
+        let p = map_anonymous(len, Prot::READ_WRITE).expect("mmap");
+        // SAFETY: Fresh RW mapping; after MADV_FREE the contents are
+        // undefined until rewritten, which the test respects.
+        unsafe {
+            p.write(0xCD);
+            advise(p, len, Advice::FREE).expect("madvise");
+            // The range must still be mapped and writable.
+            p.write(0x11);
+            assert_eq!(*p, 0x11);
+            unmap(p, len).expect("munmap");
+        }
     }
 
     #[test]

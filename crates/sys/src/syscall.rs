@@ -20,6 +20,7 @@ pub mod nr {
     pub const MPROTECT: usize = 10;
     pub const MUNMAP: usize = 11;
     pub const SCHED_YIELD: usize = 24;
+    pub const MADVISE: usize = 28;
     pub const NANOSLEEP: usize = 35;
     pub const GETPID: usize = 39;
     pub const SOCKET: usize = 41;

@@ -99,10 +99,26 @@ pub enum Tag {
     /// Adaptive mutex finished its spin phase (`a` = lock address, `b` =
     /// spins burned before acquiring or falling back to the sleep path).
     MutexSpin = 38,
+    /// A broadcast morphed waiters onto the mutex instead of waking them
+    /// all (`a` = cv address, `b` = waiters woken + requeued).
+    CvRequeue = 39,
+    /// A thread was inserted into a hashed sleep-queue shard (`a` = wait
+    /// word, `b` = shard index).
+    SleepqShard = 40,
+    /// Thread create satisfied from the per-LWP magazine (`a` = 1 if the
+    /// thread struct was recycled, `b` = 1 if the stack was).
+    MagazineHit = 41,
+    /// Thread create fell through the magazine to a fresh allocation
+    /// (`a` = 1 if the thread struct missed, `b` = 1 if the stack did).
+    MagazineMiss = 42,
+    /// A `FUTEX_WAKE` system call was issued by the sync layer (`a` = wait
+    /// word, `b` = wake count requested). The thundering-herd regression
+    /// test counts these around a broadcast.
+    FutexWake = 43,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 39;
+pub const NTAGS: usize = 44;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -146,6 +162,11 @@ impl Tag {
         Tag::RunqSteal,
         Tag::RunqInject,
         Tag::MutexSpin,
+        Tag::CvRequeue,
+        Tag::SleepqShard,
+        Tag::MagazineHit,
+        Tag::MagazineMiss,
+        Tag::FutexWake,
     ];
 
     /// Decodes a stored discriminant.
@@ -195,6 +216,11 @@ impl Tag {
             Tag::RunqSteal => "runq-steal",
             Tag::RunqInject => "runq-inject",
             Tag::MutexSpin => "mutex-spin",
+            Tag::CvRequeue => "cv-requeue",
+            Tag::SleepqShard => "sleepq-shard",
+            Tag::MagazineHit => "magazine-hit",
+            Tag::MagazineMiss => "magazine-miss",
+            Tag::FutexWake => "futex-wake",
         }
     }
 }
