@@ -2,8 +2,10 @@
 """CI perf-regression gate over the committed BENCH_*.json artifacts.
 
 One table drives every gate: each row names a committed benchmark JSON,
-a metric regex looked up in its `notes`, a direction, a baseline (the
-committed file's own value, or an absolute floor), and a tolerance.
+a metric regex looked up in its `notes`, a direction (floor-style gates
+require the fresh value to stay *above* a baseline; ceiling-style gates
+require it to stay *below* one), a baseline (the committed file's own
+value, an absolute floor, or an absolute ceiling), and a tolerance.
 The CI bench job regenerates `<name>.fresh.json` next to each committed
 file and this script compares them all, printing one PASS/FAIL line per
 gate and failing with every violated gate listed — never just the first.
@@ -28,6 +30,14 @@ Gated metrics:
 * `BENCH_fig5.json` / `unbound_creates_per_ms` — steady-state unbound
   thread creation rate, the magazine-fed Figure 5 hot path. Wall-clock
   on a shared runner, so like the checker it gets the wide 4x band.
+* `BENCH_stat.json` / `disabled_probe_ns` — cost of a *disabled*
+  `sunmt-stat` probe pair (count + histogram), net of the baseline
+  loop. Ceiling-gated near zero: a disabled probe is one relaxed load
+  and a branch, and it must stay that way.
+* `BENCH_stat.json` / `enabled_count_ns`, `enabled_hist_ns` — cost of
+  *enabled* stat probes. Ceiling-gated at 10 ns/op: if enabling
+  statistics stops being harmless the whole always-compiled-in design
+  is void.
 
 Usage: ci/bench_gate.py [repo-root]
 """
@@ -38,12 +48,14 @@ import sys
 
 
 class Gate:
-    def __init__(self, bench, metric, floor=None, tolerance=0.0, why=""):
+    def __init__(self, bench, metric, floor=None, ceiling=None, tolerance=0.0, why=""):
         self.bench = bench  # committed file name, e.g. BENCH_io.json
         self.metric = metric  # note key, matched as `<metric>=<float>`
         self.floor = floor  # absolute floor; None = use committed value
-        self.tolerance = tolerance  # fraction the fresh value may fall short
+        self.ceiling = ceiling  # absolute ceiling; flips the direction
+        self.tolerance = tolerance  # fraction of slack past the baseline
         self.why = why  # one-line consequence printed on failure
+        assert floor is None or ceiling is None, "pick one direction"
 
 
 GATES = [
@@ -79,6 +91,27 @@ GATES = [
         tolerance=0.75,
         why="magazine-fed unbound thread creation got dramatically slower",
     ),
+    Gate(
+        "BENCH_stat.json",
+        "disabled_probe_ns",
+        ceiling=2.0,
+        tolerance=0.5,
+        why="a disabled stat probe is no longer approximately free",
+    ),
+    Gate(
+        "BENCH_stat.json",
+        "enabled_count_ns",
+        ceiling=10.0,
+        tolerance=0.0,
+        why="enabled stat counters exceed the 10 ns/op overhead budget",
+    ),
+    Gate(
+        "BENCH_stat.json",
+        "enabled_hist_ns",
+        ceiling=10.0,
+        tolerance=0.0,
+        why="enabled stat histograms exceed the 10 ns/op overhead budget",
+    ),
 ]
 
 
@@ -98,8 +131,22 @@ def run_gate(root, gate):
     """Returns None on pass, or the one-line failure description."""
     committed = f"{root}/{gate.bench}"
     fresh = committed.replace(".json", ".fresh.json")
-    baseline = gate.floor if gate.floor is not None else metric_from(committed, gate.metric)
     value = metric_from(fresh, gate.metric)
+    if gate.ceiling is not None:
+        need = gate.ceiling * (1.0 + gate.tolerance)
+        ok = value <= need
+        verdict = "PASS" if ok else "FAIL"
+        print(
+            f"{verdict} {gate.bench} {gate.metric}: fresh={value:.2f} "
+            f"ceiling={gate.ceiling:.2f} required<={need:.2f}"
+        )
+        if ok:
+            return None
+        return (
+            f"{gate.bench}: {gate.metric} rose to {value:.2f} "
+            f"(required <= {need:.2f}) — {gate.why}"
+        )
+    baseline = gate.floor if gate.floor is not None else metric_from(committed, gate.metric)
     need = baseline * (1.0 - gate.tolerance)
     kind = "floor" if gate.floor is not None else "committed"
     verdict = "PASS" if value >= need else "FAIL"

@@ -300,11 +300,15 @@ fn main() {
          (host-dependent; not gated)"
     ));
 
-    // 3. The real library's create path, with the dispatch-path counters.
+    // 3. The real library's create path, with the dispatch-path counters
+    // and the statistics layer live: every dispatch below lands a sample
+    // in the run-queue wait histogram that stats_report() prints.
     sunmt::init();
+    sunmt_stat::enable();
     let before = sunmt::stats();
     let create_us = library_create(create_batch, create_batches);
     let after = sunmt::stats();
+    sunmt_stat::disable();
     t.row("library create+join (us/thread)", create_us);
     t.note(format!(
         "library: threads={} dispatch_steals={} dispatch_injects={}",
@@ -312,6 +316,15 @@ fn main() {
         after.steals - before.steals,
         after.injects - before.injects
     ));
+
+    // The schedstat view of the create storm: runq-wait percentiles plus
+    // the scheduler gauge source registered by `sunmt::init()`.
+    println!("{}", sunmt_stat::stats_report());
+    let snap = sunmt_stat::snapshot();
+    assert!(
+        snap.hist(sunmt_stat::Hs::RunqWait).count > 0,
+        "the create storm dispatched threads but recorded no runq-wait samples"
+    );
 
     t.print();
     if let Err(e) = t.write_json_if_requested("abl_sched", std::env::args()) {

@@ -222,9 +222,12 @@ fn main() {
     let speedup = herd.cpu_us as f64 / morph.cpu_us as f64;
     t.note(format!("morph_speedup_32={speedup:.2}"));
 
-    // 2. The real condvar, morphing vs the wake-all fallback.
+    // 2. The real condvar, morphing vs the wake-all fallback. Statistics
+    // run alongside tracing: the lockstat report below must name the
+    // monitor mutex and put percentiles on the scheduler's queue wait.
     sunmt::init();
     trace::enable();
+    sunmt_stat::enable();
     let (mut held_s, mut held_w) = (0.0, 0u64);
     let (mut rel_s, mut rel_w) = (0.0, 0u64);
     for _ in 0..reps {
@@ -258,6 +261,23 @@ fn main() {
         churn_batch * churn_batches
     ));
     trace::disable();
+    sunmt_stat::disable();
+
+    // The lockstat-style view of everything sections 2 and 3 just did:
+    // the contended monitor mutex by site, hold/block percentiles, the
+    // run-queue wait distribution, and the scheduler gauge source.
+    println!("{}", sunmt_stat::stats_report());
+    let snap = sunmt_stat::snapshot();
+    assert!(
+        snap.locks
+            .iter()
+            .any(|s| s.contended > 0 && s.hold_count > 0),
+        "no contended lock site with hold times in the stats report"
+    );
+    assert!(
+        snap.hist(sunmt_stat::Hs::RunqWait).count > 0,
+        "the drain dispatched threads but recorded no runq-wait samples"
+    );
 
     t.print();
     if let Err(e) = t.write_json_if_requested("abl_wake", std::env::args()) {

@@ -195,6 +195,12 @@ struct Shard<T> {
     top: AtomicI32,
     /// Pops served from this shard, for the [`FAIR_EVERY`] rotation.
     ticks: AtomicUsize,
+    /// Owner pushes accepted by this shard (spills excluded).
+    pushes: AtomicU64,
+    /// Owner pops served from this shard's own queue.
+    pops: AtomicU64,
+    /// Items thieves took from this shard (this shard as victim).
+    stolen: AtomicU64,
 }
 
 impl<T: RunItem> Shard<T> {
@@ -204,8 +210,25 @@ impl<T: RunItem> Shard<T> {
             len: AtomicUsize::new(0),
             top: AtomicI32::new(-1),
             ticks: AtomicUsize::new(0),
+            pushes: AtomicU64::new(0),
+            pops: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
         }
     }
+}
+
+/// One shard's traffic counters plus its instantaneous depth, as reported
+/// by [`ShardedRunQueue::shard_stats`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStat {
+    /// Owner pushes accepted by the shard (overflow spills excluded).
+    pub pushes: u64,
+    /// Pops the owner served from its own queue.
+    pub pops: u64,
+    /// Items other LWPs stole from this shard.
+    pub stolen: u64,
+    /// Current queue depth (racy snapshot).
+    pub len: usize,
 }
 
 /// The production dispatcher structure: per-LWP run-queue shards with
@@ -228,6 +251,7 @@ pub struct ShardedRunQueue<T> {
     next_shard: AtomicUsize,
     steals: AtomicU64,
     injects: AtomicU64,
+    overflows: AtomicU64,
 }
 
 /// Where a pushed item landed (so wakeups can target the right LWP).
@@ -249,6 +273,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
             next_shard: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             injects: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
         }
     }
 
@@ -267,6 +292,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
     pub fn push(&self, shard: usize, t: T) -> Placement {
         let s = &self.shards[shard % self.shards.len()];
         if s.len.load(Ordering::Relaxed) >= SHARD_CAP {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
             self.push_inject(t);
             return Placement::Injected;
         }
@@ -275,6 +301,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
         s.len.store(q.len(), Ordering::Release);
         s.top.store(q.top_level(), Ordering::Release);
         drop(q);
+        s.pushes.fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Release);
         Placement::Shard(shard % self.shards.len())
     }
@@ -325,6 +352,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
         s.top.store(q.top_level(), Ordering::Release);
         drop(q);
         if t.is_some() {
+            s.pops.fetch_add(1, Ordering::Relaxed);
             self.total.fetch_sub(1, Ordering::Release);
         }
         t
@@ -370,6 +398,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
             if let Some(t) = t {
                 self.total.fetch_sub(1, Ordering::Release);
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                s.stolen.fetch_add(1, Ordering::Relaxed);
                 probe!(Tag::RunqSteal, t.trace_id(), victim);
                 return Some(t);
             }
@@ -417,6 +446,25 @@ impl<T: RunItem> ShardedRunQueue<T> {
     /// Injection-queue pushes since creation.
     pub fn inject_count(&self) -> u64 {
         self.injects.load(Ordering::Relaxed)
+    }
+
+    /// Owner pushes that spilled to injection because their shard was at
+    /// [`SHARD_CAP`] (a subset of [`Self::inject_count`]).
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard traffic counters and instantaneous depths, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.shards
+            .iter()
+            .map(|s| ShardStat {
+                pushes: s.pushes.load(Ordering::Relaxed),
+                pops: s.pops.load(Ordering::Relaxed),
+                stolen: s.stolen.load(Ordering::Relaxed),
+                len: s.len.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 

@@ -96,6 +96,8 @@ pub(crate) struct Mt {
     pub pool_grows: AtomicU64,
     /// Total user-level sleeps ended by their deadline (timer LWP wakeups).
     pub timeout_wakeups: AtomicU64,
+    /// Parked pool LWPs unparked because a push handed them work.
+    pub idle_wakes: AtomicU64,
 }
 
 static MT: OnceLock<Mt> = OnceLock::new();
@@ -106,6 +108,7 @@ pub(crate) fn mt() -> &'static Mt {
     MT.get_or_init(|| {
         sunmt_sync::strategy::install(&crate::strategy::MT_STRATEGY);
         registry::global().set_sigwaiting_hook(sigwaiting_handler);
+        sunmt_stat::register_source("sched", sched_stat_source);
         Mt {
             threads: Mutex::new(HashMap::new()),
             zombies: Mutex::new(VecDeque::new()),
@@ -126,6 +129,7 @@ pub(crate) fn mt() -> &'static Mt {
             dispatches: AtomicU64::new(0),
             pool_grows: AtomicU64::new(0),
             timeout_wakeups: AtomicU64::new(0),
+            idle_wakes: AtomicU64::new(0),
         }
     })
 }
@@ -285,10 +289,12 @@ pub(crate) fn create_thread(
             Arc::get_mut(&mut t)
                 .expect("magazine returned a shared thread object")
                 .reinit(id, flags, priority, sigmask, cont, tls_len, initial);
+            crate::magazine::note_hit();
             probe!(Tag::MagazineHit, 1u64, 0u64);
             t
         }
         None => {
+            crate::magazine::note_miss();
             probe!(Tag::MagazineMiss, 1u64, 0u64);
             Thread::new(
                 id,
@@ -414,6 +420,8 @@ fn remove_self_from_idle(me: &Arc<LwpState>) {
 
 fn run_one(t: Arc<Thread>) {
     t.set_state(ThreadState::Running);
+    let q0 = t.queued_cy.swap(0, Ordering::Relaxed);
+    sunmt_stat::record_since(sunmt_stat::Hs::RunqWait, q0);
     mt().dispatches.fetch_add(1, Ordering::Relaxed);
     t.ctx_switches.fetch_add(1, Ordering::Relaxed);
     probe!(Tag::Dispatch, t.id.0, t.priority());
@@ -527,6 +535,9 @@ pub(crate) fn make_runnable(t: Arc<Thread>) {
 
 fn push_runnable(t: Arc<Thread>) {
     let m = mt();
+    // Run-queue wait clock starts at the enqueue (0 when stats are off, so
+    // the dispatcher's matching record is a no-op).
+    t.queued_cy.store(sunmt_stat::tick(), Ordering::Relaxed);
     // Pool LWPs enqueue on their own shard (one uncontended lock); every
     // other context — bound threads, the timer LWP, signal handlers —
     // injects globally.
@@ -553,6 +564,7 @@ fn wake_one_idle(placement: Placement) {
         }
     };
     if let Some(lwp) = lwp {
+        m.idle_wakes.fetch_add(1, Ordering::Relaxed);
         lwp.parker().unpark();
         return;
     }
@@ -1022,7 +1034,53 @@ pub fn stats() -> SchedStats {
         timeout_wakeups: m.timeout_wakeups.load(Ordering::Relaxed),
         steals: m.runq.steal_count(),
         injects: m.runq.inject_count(),
+        overflows: m.runq.overflow_count(),
+        idle_wakes: m.idle_wakes.load(Ordering::Relaxed),
+        magazine_hits: crate::magazine::hit_count(),
+        magazine_misses: crate::magazine::miss_count(),
+        cv_requeues: sunmt_sync::condvar::requeue_count(),
     }
+}
+
+/// The `"sched"` gauge source `sunmt-stat` snapshots: the [`stats`]
+/// aggregates plus the per-shard run-queue traffic and the sleep-queue
+/// occupancy distribution.
+fn sched_stat_source() -> Vec<(String, u64)> {
+    let s = stats();
+    let m = mt();
+    let mut out = vec![
+        ("runnable".to_string(), s.runnable as u64),
+        ("sleeping".to_string(), s.sleeping as u64),
+        ("pool_lwps".to_string(), s.pool_lwps as u64),
+        ("idle_lwps".to_string(), s.idle_lwps as u64),
+        ("live_threads".to_string(), s.live_threads as u64),
+        ("dispatches".to_string(), s.dispatches),
+        ("pool_grows".to_string(), s.pool_grows),
+        ("timeout_wakeups".to_string(), s.timeout_wakeups),
+        ("steals".to_string(), s.steals),
+        ("injects".to_string(), s.injects),
+        ("overflows".to_string(), s.overflows),
+        ("idle_wakes".to_string(), s.idle_wakes),
+        ("magazine_hits".to_string(), s.magazine_hits),
+        ("magazine_misses".to_string(), s.magazine_misses),
+        ("cv_requeues".to_string(), s.cv_requeues),
+    ];
+    for (i, sh) in m.runq.shard_stats().iter().enumerate() {
+        out.push((format!("runq_shard{i}_pushes"), sh.pushes));
+        out.push((format!("runq_shard{i}_pops"), sh.pops));
+        out.push((format!("runq_shard{i}_stolen"), sh.stolen));
+        out.push((format!("runq_shard{i}_len"), sh.len as u64));
+    }
+    let lens = m.sleepers.shard_lens();
+    out.push((
+        "sleepq_occupied_shards".to_string(),
+        lens.iter().filter(|l| **l > 0).count() as u64,
+    ));
+    out.push((
+        "sleepq_max_shard_len".to_string(),
+        lens.iter().copied().max().unwrap_or(0) as u64,
+    ));
+    out
 }
 
 /// See [`stats`].
@@ -1048,4 +1106,16 @@ pub struct SchedStats {
     pub steals: u64,
     /// Pushes routed through the global injection queue since library init.
     pub injects: u64,
+    /// Owner pushes that spilled to injection because their shard was full
+    /// (a subset of `injects`).
+    pub overflows: u64,
+    /// Parked pool LWPs unparked because a push handed them work.
+    pub idle_wakes: u64,
+    /// Create-path magazine/depot hits (stacks and thread objects).
+    pub magazine_hits: u64,
+    /// Create-path magazine/depot misses (fresh allocations).
+    pub magazine_misses: u64,
+    /// Broadcast wakeups resolved by wait morphing (requeue onto the
+    /// mutex) rather than a thundering wake-all.
+    pub cv_requeues: u64,
 }

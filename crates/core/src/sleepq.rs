@@ -199,6 +199,13 @@ impl ShardedSleepQueue {
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| unpoisoned(s).len()).sum()
     }
+
+    /// Per-shard occupancy (sleeping threads per shard, in shard order) —
+    /// the distribution the stats exporter reports so a hash hot spot is
+    /// visible. Same locking caveat as [`Self::len`].
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| unpoisoned(s).len()).collect()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,10 @@ pub(crate) struct Thread {
     /// Per-thread profiling interval timer (SIGPROF), same encoding.
     pub(crate) prof_deadline_ns: AtomicU64,
     pub(crate) prof_interval_ns: AtomicU64,
+    /// Cycle timestamp (`sunmt_stat::tick`) of the last enqueue onto the
+    /// run queue; 0 when stats are disabled or the thread is not queued.
+    /// Consumed by the dispatcher to charge run-queue wait time.
+    pub(crate) queued_cy: AtomicU64,
 }
 
 // SAFETY: `cont` is accessed only by the single LWP currently running or
@@ -114,6 +118,7 @@ impl Thread {
             vt_interval_ns: AtomicU64::new(0),
             prof_deadline_ns: AtomicU64::new(0),
             prof_interval_ns: AtomicU64::new(0),
+            queued_cy: AtomicU64::new(0),
         })
     }
 
@@ -161,6 +166,7 @@ impl Thread {
         *self.vt_interval_ns.get_mut() = 0;
         *self.prof_deadline_ns.get_mut() = 0;
         *self.prof_interval_ns.get_mut() = 0;
+        *self.queued_cy.get_mut() = 0;
     }
 
     /// A minimal thread object for data-structure unit tests.

@@ -118,6 +118,7 @@ pub(crate) fn global() -> &'static Poller {
             pending: AtomicUsize::new(0),
         }
     });
+    sunmt_stat::register_source("io", io_stat_source);
     // The LWP is spawned outside get_or_init: its loop touches the
     // singleton, and re-entering a OnceLock initializer deadlocks.
     START.call_once(|| {
@@ -131,6 +132,32 @@ pub(crate) fn global() -> &'static Poller {
 /// The poller if it has ever been started (for stats without side effects).
 pub(crate) fn maybe_global() -> Option<&'static Poller> {
     POLLER.get()
+}
+
+/// The `"io"` gauge source `sunmt-stat` snapshots. All zeros until the
+/// poller first runs (the source reads, never spawns).
+fn io_stat_source() -> Vec<(String, u64)> {
+    let Some(p) = maybe_global() else {
+        return Vec::new();
+    };
+    vec![
+        (
+            "registrations".to_string(),
+            p.registrations.load(Ordering::Relaxed),
+        ),
+        ("readies".to_string(), p.readies.load(Ordering::Relaxed)),
+        ("parks".to_string(), p.parks.load(Ordering::Relaxed)),
+        ("unparks".to_string(), p.unparks.load(Ordering::Relaxed)),
+        ("timeouts".to_string(), p.timeouts.load(Ordering::Relaxed)),
+        (
+            "epoll_waits".to_string(),
+            p.epoll_waits.load(Ordering::Relaxed),
+        ),
+        (
+            "pending".to_string(),
+            p.pending.load(Ordering::Relaxed) as u64,
+        ),
+    ]
 }
 
 impl Poller {
@@ -175,7 +202,9 @@ impl Poller {
         probe!(Tag::IoRegister, io_fd as u64, (dir == Dir::Write) as u64);
         self.registrations.fetch_add(1, Ordering::Relaxed);
         self.pending.fetch_add(1, Ordering::Relaxed);
+        let t0 = sunmt_stat::tick();
         let result = self.park(io_fd, dir, deadline, &w);
+        sunmt_stat::record_since(sunmt_stat::Hs::IoWait, t0);
         self.pending.fetch_sub(1, Ordering::Relaxed);
         result
     }
@@ -283,7 +312,9 @@ fn poller_loop(p: &'static Poller) {
         p.epoll_waits.fetch_add(1, Ordering::Relaxed);
         // The poller LWP's wait is the canonical "indefinite, external
         // wait" of the paper's SIGWAITING accounting.
+        let t0 = sunmt_stat::tick();
         let n = registry::global().indefinite_wait(|| fd::epoll_wait(p.epfd, &mut events, -1));
+        sunmt_stat::record_since(sunmt_stat::Hs::PollerWait, t0);
         let n = match n {
             Ok(n) => n,
             Err(Errno::EINTR) => continue,

@@ -4,12 +4,23 @@
 //! true. Condition variables must be used in conjunction with a mutex lock.
 //! This implements a typical monitor."
 
-use core::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use core::time::Duration;
 
 use crate::mutex::Mutex;
 use crate::strategy;
 use crate::types::SyncType;
+
+/// Process-lifetime count of broadcasts that morphed waiters onto their
+/// mutex. Always on (one `fetch_add` per broadcast, not per wakeup) so
+/// the scheduler's `stats()` snapshot can report it without the stat or
+/// trace layers enabled.
+static REQUEUES: AtomicU64 = AtomicU64::new(0);
+
+/// Total wait-morphing broadcasts since process start.
+pub fn requeue_count() -> u64 {
+    REQUEUES.load(Ordering::Relaxed)
+}
 
 /// A SunOS-style condition variable (`condvar_t`).
 ///
@@ -178,6 +189,7 @@ impl Condvar {
     pub fn signal(&self) {
         self.seq.fetch_add(1, Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
+            sunmt_stat::stat_count!(sunmt_stat::Ctr::CvSignal);
             strategy::unpark(&self.seq, 1, self.shared());
         }
     }
@@ -198,6 +210,8 @@ impl Condvar {
         let shared = self.shared();
         match self.morph_target(shared) {
             Some(target) => {
+                REQUEUES.fetch_add(1, Ordering::Relaxed);
+                sunmt_stat::stat_count!(sunmt_stat::Ctr::CvMorph);
                 sunmt_trace::probe!(
                     sunmt_trace::Tag::CvRequeue,
                     &self.seq as *const _ as usize,
@@ -205,7 +219,10 @@ impl Condvar {
                 );
                 strategy::unpark_requeue(&self.seq, new, target, shared);
             }
-            None => strategy::unpark(&self.seq, u32::MAX, shared),
+            None => {
+                sunmt_stat::stat_count!(sunmt_stat::Ctr::CvWakeAll);
+                strategy::unpark(&self.seq, u32::MAX, shared);
+            }
         }
     }
 }

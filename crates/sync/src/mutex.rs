@@ -72,6 +72,13 @@ impl Mutex {
         SyncType(self.kind.load(Ordering::Relaxed))
     }
 
+    /// The lock's stat identity: the word address, which is also what the
+    /// futex sleeps on and what the trace probes report.
+    #[inline]
+    fn site(&self) -> usize {
+        &self.word as *const _ as usize
+    }
+
     /// `mutex_enter()`: acquires the lock, blocking while it is held.
     ///
     /// # Panics
@@ -92,6 +99,9 @@ impl Mutex {
         {
             if kind.is_adaptive() {
                 self.publish_owner_hint();
+            }
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::acquired(self.site());
             }
             return;
         }
@@ -120,6 +130,8 @@ impl Mutex {
             .is_err()
         {
             self.enter_slow();
+        } else if sunmt_stat::enabled() {
+            sunmt_stat::lock::acquired(self.site());
         }
         self.owner.store(me, Ordering::Release);
     }
@@ -132,6 +144,9 @@ impl Mutex {
             &self.word as *const _ as usize,
             kind.0
         );
+        // Block time runs from here to the eventual acquire; `t0 == 0`
+        // (stats off) makes every downstream stat call a no-op.
+        let t0 = sunmt_stat::lock::slow_begin(self.site());
         if kind.is_spin() {
             // Spin variant: never sleep.
             let mut spins = 0u32;
@@ -147,6 +162,10 @@ impl Mutex {
                         )
                         .is_ok()
                 {
+                    if sunmt_stat::enabled() {
+                        sunmt_stat::lock::spun(self.site(), u64::from(spins), true);
+                        sunmt_stat::lock::acquired_slow(self.site(), t0);
+                    }
                     return;
                 }
                 core::hint::spin_loop();
@@ -186,6 +205,10 @@ impl Mutex {
                         &self.word as *const _ as usize,
                         spins
                     );
+                    if sunmt_stat::enabled() {
+                        sunmt_stat::lock::spun(self.site(), u64::from(spins), true);
+                        sunmt_stat::lock::acquired_slow(self.site(), t0);
+                    }
                     return;
                 }
                 core::hint::spin_loop();
@@ -205,14 +228,23 @@ impl Mutex {
                 &self.word as *const _ as usize,
                 spins
             );
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::spun(self.site(), u64::from(spins), false);
+            }
         }
         // Sleep path: announce contention so the releaser knows to wake us.
         let shared = kind.is_shared();
         while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::parked(self.site());
+            }
             strategy::park(&self.word, CONTENDED, shared);
         }
         if kind.is_adaptive() && !kind.is_debug() {
             self.publish_owner_hint();
+        }
+        if sunmt_stat::enabled() {
+            sunmt_stat::lock::acquired_slow(self.site(), t0);
         }
     }
 
@@ -274,10 +306,19 @@ impl Mutex {
             .compare_exchange(UNLOCKED, CONTENDED, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
+            let t0 = sunmt_stat::lock::slow_begin(self.site());
             let shared = kind.is_shared();
             while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
+                if sunmt_stat::enabled() {
+                    sunmt_stat::lock::parked(self.site());
+                }
                 strategy::park(&self.word, CONTENDED, shared);
             }
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::acquired_slow(self.site(), t0);
+            }
+        } else if sunmt_stat::enabled() {
+            sunmt_stat::lock::acquired(self.site());
         }
         if kind.is_debug() {
             self.owner.store(strategy::self_id(), Ordering::Release);
@@ -304,6 +345,9 @@ impl Mutex {
             } else if kind.is_adaptive() {
                 self.publish_owner_hint();
             }
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::acquired(self.site());
+            }
         }
         ok
     }
@@ -316,6 +360,11 @@ impl Mutex {
     /// non-holder in any build.
     #[inline]
     pub fn exit(&self) {
+        // Close the hold interval while still the holder (the site's
+        // hold clock is single-writer only under the lock's exclusion).
+        if sunmt_stat::enabled() {
+            sunmt_stat::lock::released(self.site());
+        }
         let kind = self.kind();
         if kind.is_debug() {
             let me = strategy::self_id();

@@ -78,6 +78,12 @@ impl RwLock {
         SyncType(self.kind.load(Ordering::Relaxed)).is_shared()
     }
 
+    /// Stat identity: the state word's address (what RwBlock traces too).
+    #[inline]
+    fn site(&self) -> usize {
+        &self.state as *const _ as usize
+    }
+
     #[inline]
     fn reader_may_enter(&self, s: u32) -> bool {
         s & (WRITER | UPGRADE) == 0 && self.wrwait.load(Ordering::Relaxed) == 0
@@ -92,6 +98,7 @@ impl RwLock {
     }
 
     fn enter_reader(&self) {
+        let mut t0 = 0u64;
         loop {
             let s = self.state.load(Ordering::Relaxed);
             if self.reader_may_enter(s) {
@@ -100,6 +107,7 @@ impl RwLock {
                     .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
+                    sunmt_stat::lock::block_end(self.site(), t0);
                     return;
                 }
                 continue;
@@ -118,6 +126,12 @@ impl RwLock {
                 &self.state as *const _ as usize,
                 0u64 // reader
             );
+            if sunmt_stat::enabled() {
+                if t0 == 0 {
+                    t0 = sunmt_stat::lock::slow_begin(self.site());
+                }
+                sunmt_stat::lock::parked(self.site());
+            }
             strategy::park(&self.rdseq, seq, self.shared());
             self.rdwait.fetch_sub(1, Ordering::SeqCst);
         }
@@ -125,6 +139,7 @@ impl RwLock {
 
     fn enter_writer(&self) {
         self.wrwait.fetch_add(1, Ordering::Relaxed);
+        let mut t0 = 0u64;
         loop {
             if self
                 .state
@@ -132,6 +147,7 @@ impl RwLock {
                 .is_ok()
             {
                 self.wrwait.fetch_sub(1, Ordering::Relaxed);
+                sunmt_stat::lock::block_end(self.site(), t0);
                 return;
             }
             let seq = self.wrseq.load(Ordering::Acquire);
@@ -143,6 +159,12 @@ impl RwLock {
                 &self.state as *const _ as usize,
                 1u64 // writer
             );
+            if sunmt_stat::enabled() {
+                if t0 == 0 {
+                    t0 = sunmt_stat::lock::slow_begin(self.site());
+                }
+                sunmt_stat::lock::parked(self.site());
+            }
             strategy::park(&self.wrseq, seq, self.shared());
         }
     }
@@ -257,12 +279,14 @@ impl RwLock {
         }
         // Wait for the other readers to leave, then convert our remaining
         // hold into the writer lock.
+        let mut t0 = 0u64;
         loop {
             if self
                 .state
                 .compare_exchange(UPGRADE | 1, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                sunmt_stat::lock::block_end(self.site(), t0);
                 return true;
             }
             let seq = self.wrseq.load(Ordering::Acquire);
@@ -274,6 +298,12 @@ impl RwLock {
                 &self.state as *const _ as usize,
                 1u64 // writer
             );
+            if sunmt_stat::enabled() {
+                if t0 == 0 {
+                    t0 = sunmt_stat::lock::slow_begin(self.site());
+                }
+                sunmt_stat::lock::parked(self.site());
+            }
             strategy::park(&self.wrseq, seq, self.shared());
         }
     }

@@ -69,6 +69,8 @@ impl Sema {
             return;
         }
         let shared = self.shared();
+        let site = &self.count as *const _ as usize;
+        let t0 = sunmt_stat::lock::slow_begin(site);
         self.waiters.fetch_add(1, Ordering::Relaxed);
         loop {
             if self.try_dec() {
@@ -78,9 +80,13 @@ impl Sema {
                 sunmt_trace::Tag::SemaBlock,
                 &self.count as *const _ as usize
             );
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::parked(site);
+            }
             strategy::park(&self.count, 0, shared);
         }
         self.waiters.fetch_sub(1, Ordering::Relaxed);
+        sunmt_stat::lock::block_end(site, t0);
     }
 
     /// `sema_timedp()`: like [`Self::p`], but gives up after `timeout`.
@@ -92,6 +98,8 @@ impl Sema {
         }
         let deadline = sunmt_sys::time::monotonic_now() + timeout;
         let shared = self.shared();
+        let site = &self.count as *const _ as usize;
+        let t0 = sunmt_stat::lock::slow_begin(site);
         self.waiters.fetch_add(1, Ordering::Relaxed);
         let got = loop {
             if self.try_dec() {
@@ -105,9 +113,13 @@ impl Sema {
                 sunmt_trace::Tag::SemaBlock,
                 &self.count as *const _ as usize
             );
+            if sunmt_stat::enabled() {
+                sunmt_stat::lock::parked(site);
+            }
             strategy::park_timeout(&self.count, 0, shared, deadline - now);
         };
         self.waiters.fetch_sub(1, Ordering::Relaxed);
+        sunmt_stat::lock::block_end(site, t0);
         got
     }
 

@@ -10,6 +10,69 @@ use std::fmt::Write as _;
 use crate::tag::Tag;
 use crate::Event;
 
+/// How the exporter renders one tag. Every [`Tag`] variant is classified
+/// explicitly in [`render_class`]; adding a tag without deciding its
+/// rendering is a compile error, not a silently dropped event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RenderClass {
+    /// Opens a "run" duration slice on the LWP track.
+    SliceBegin,
+    /// Closes the LWP track's open slice.
+    SliceEnd,
+    /// A thread-scoped instant mark.
+    Instant,
+}
+
+/// Classifies a tag for export. Exhaustive on purpose — no `_` arm.
+fn render_class(tag: Tag) -> RenderClass {
+    match tag {
+        Tag::Dispatch => RenderClass::SliceBegin,
+        Tag::SwitchOut => RenderClass::SliceEnd,
+        Tag::RunqPush
+        | Tag::RunqPop
+        | Tag::ThreadCreate
+        | Tag::ThreadExit
+        | Tag::Sleep
+        | Tag::Wakeup
+        | Tag::Stop
+        | Tag::Continue
+        | Tag::MutexBlock
+        | Tag::CvBlock
+        | Tag::SemaBlock
+        | Tag::RwBlock
+        | Tag::SignalDeliver
+        | Tag::SigwaitingPost
+        | Tag::PoolGrow
+        | Tag::LwpSpawn
+        | Tag::LwpExit
+        | Tag::LwpPark
+        | Tag::LwpUnpark
+        | Tag::SyscallEnter
+        | Tag::SyscallDone
+        | Tag::IoRegister
+        | Tag::IoReady
+        | Tag::IoPark
+        | Tag::IoUnpark
+        | Tag::IoTimeout
+        | Tag::SleepTimeout
+        | Tag::MutexAcquire
+        | Tag::MutexRelease
+        | Tag::CvSignal
+        | Tag::CvBroadcast
+        | Tag::SemaPost
+        | Tag::RwAcquire
+        | Tag::RwRelease
+        | Tag::RunqSteal
+        | Tag::RunqInject
+        | Tag::MutexSpin
+        | Tag::CvRequeue
+        | Tag::SleepqShard
+        | Tag::MagazineHit
+        | Tag::MagazineMiss
+        | Tag::FutexWake => RenderClass::Instant,
+    }
+}
+
 /// Serializes `events` (as returned by [`crate::drain`]) into Chrome
 /// `trace_event` JSON. Timestamps are microseconds relative to the first
 /// event. Dispatch slices left open at the end of the capture are closed
@@ -23,8 +86,8 @@ pub fn export_chrome(events: &[Event]) -> String {
     let mut open: Vec<u32> = Vec::new();
     for e in events {
         let ts = us(e.ts_ns, base);
-        match e.tag {
-            Tag::Dispatch => {
+        match render_class(e.tag) {
+            RenderClass::SliceBegin => {
                 if open.contains(&e.lwp) {
                     // Two dispatches without a switch-out (lost event or
                     // overwritten ring tail): close the stale slice first.
@@ -34,13 +97,13 @@ pub fn export_chrome(events: &[Event]) -> String {
                 push_record(&mut out, &mut first, "run", "B", e.lwp, ts, Some(e));
                 open.push(e.lwp);
             }
-            Tag::SwitchOut => {
+            RenderClass::SliceEnd => {
                 if open.contains(&e.lwp) {
                     push_record(&mut out, &mut first, "run", "E", e.lwp, ts, Some(e));
                     open.retain(|l| *l != e.lwp);
                 }
             }
-            _ => push_instant(&mut out, &mut first, e, ts),
+            RenderClass::Instant => push_instant(&mut out, &mut first, e, ts),
         }
     }
     for lwp in open {
@@ -325,6 +388,18 @@ mod tests {
             instant.get("args").unwrap().get("a").unwrap().as_num(),
             43.0
         );
+    }
+
+    #[test]
+    fn every_tag_is_classified_and_only_dispatch_pairs_make_slices() {
+        for t in Tag::ALL {
+            let c = render_class(t);
+            match t {
+                Tag::Dispatch => assert_eq!(c, RenderClass::SliceBegin),
+                Tag::SwitchOut => assert_eq!(c, RenderClass::SliceEnd),
+                _ => assert_eq!(c, RenderClass::Instant, "{t:?}"),
+            }
+        }
     }
 
     #[test]

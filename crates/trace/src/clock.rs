@@ -1,0 +1,101 @@
+//! The shared cycle clock used by probes and statistics.
+//!
+//! Latency probes need a timestamp far cheaper than a `clock_gettime`
+//! syscall-ish vDSO call: on x86_64 [`now_cycles`] is a single `rdtsc`
+//! (~6 ns, monotonic on every CPU this library targets — constant_tsc
+//! has been universal since Nehalem); elsewhere it falls back to
+//! CLOCK_MONOTONIC nanoseconds. Raw readings are opaque "cycles" and only
+//! become nanoseconds at *report* time via [`cycles_to_ns`], which lazily
+//! calibrates the TSC frequency against CLOCK_MONOTONIC over a short spin
+//! window. The hot path never pays for calibration.
+
+use std::sync::OnceLock;
+
+/// Reads the cycle counter: `rdtsc` on x86_64, CLOCK_MONOTONIC
+/// nanoseconds elsewhere. Monotonic per-CPU and cheap; convert with
+/// [`cycles_to_ns`] before showing a human.
+#[inline(always)]
+pub fn now_cycles() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `rdtsc` has no preconditions; it is unprivileged on every
+    // Linux configuration (CR4.TSD is never set for user code).
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    monotonic_ns()
+}
+
+/// CLOCK_MONOTONIC in nanoseconds (the calibration reference).
+#[inline]
+pub fn monotonic_ns() -> u64 {
+    let d = sunmt_sys::time::monotonic_now();
+    d.as_secs() * 1_000_000_000 + u64::from(d.subsec_nanos())
+}
+
+/// Nanoseconds per cycle, calibrated once per process.
+///
+/// The first call spins for ~2 ms sampling both clocks; later calls read a
+/// cached ratio. On non-x86_64 targets cycles already *are* nanoseconds,
+/// so the ratio is exactly 1.
+pub fn ns_per_cycle() -> f64 {
+    static RATIO: OnceLock<f64> = OnceLock::new();
+    *RATIO.get_or_init(|| {
+        if cfg!(not(target_arch = "x86_64")) {
+            return 1.0;
+        }
+        let (c0, n0) = (now_cycles(), monotonic_ns());
+        let target = n0 + 2_000_000;
+        while monotonic_ns() < target {
+            std::hint::spin_loop();
+        }
+        let (c1, n1) = (now_cycles(), monotonic_ns());
+        if c1 <= c0 {
+            // A TSC that went backwards (VM migration mid-calibration):
+            // degrade to "1 cycle = 1 ns" rather than divide by zero.
+            return 1.0;
+        }
+        (n1 - n0) as f64 / (c1 - c0) as f64
+    })
+}
+
+/// Converts a cycle delta from [`now_cycles`] into nanoseconds.
+#[inline]
+pub fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 * ns_per_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_advance_monotonically_here() {
+        let a = now_cycles();
+        let b = now_cycles();
+        assert!(b >= a, "cycle counter went backwards on one core");
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let r = ns_per_cycle();
+        // Plausible for 0.2 GHz..20 GHz TSCs, and exactly 1.0 on the
+        // monotonic-ns fallback.
+        assert!((0.05..=5.0).contains(&r), "ns/cycle = {r}");
+        assert_eq!(ns_per_cycle(), r, "ratio must be cached");
+    }
+
+    #[test]
+    fn measured_sleep_lands_in_the_right_decade() {
+        let c0 = now_cycles();
+        let n0 = monotonic_ns();
+        while monotonic_ns() < n0 + 1_000_000 {
+            std::hint::spin_loop();
+        }
+        let ns = cycles_to_ns(now_cycles() - c0);
+        assert!(
+            (200_000.0..20_000_000.0).contains(&ns),
+            "1 ms spin measured as {ns} ns"
+        );
+    }
+}

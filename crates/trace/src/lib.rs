@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod chrome;
+pub mod clock;
 pub mod ring;
 pub mod tag;
 

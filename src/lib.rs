@@ -16,6 +16,7 @@
 //! | [`simkernel`] | `sunmt-simkernel` | deterministic kernel for scheduling experiments |
 //! | [`baselines`] | `sunmt-baselines` | N:1 (`liblwp`) and 1:1 (C Threads) comparisons |
 //! | [`trace`] | `sunmt-trace` | TNF-style probes, per-LWP rings, Chrome export |
+//! | [`stat`] | `sunmt-stat` | lockstat/mpstat-style contention & latency stats |
 //! | [`sys`] | `sunmt-sys` | raw Linux syscalls (mmap/futex/clocks) |
 //!
 //! ## Quickstart
@@ -85,4 +86,9 @@ pub mod sys {
 /// TNF-style tracing and metrics (`sunmt-trace`).
 pub mod trace {
     pub use sunmt_trace::*;
+}
+
+/// Contention and latency statistics (`sunmt-stat`).
+pub mod stat {
+    pub use sunmt_stat::*;
 }
