@@ -38,6 +38,13 @@ Gated metrics:
   *enabled* stat probes. Ceiling-gated at 10 ns/op: if enabling
   statistics stops being harmless the whole always-compiled-in design
   is void.
+* `BENCH_chan.json` / `pipeline_msgs_per_ms` — throughput of the
+  3-stage x 2-worker channel actor pipeline. Wall-clock on a shared
+  runner, so it gets the wide 4x band against the committed value.
+* `BENCH_chan.json` / `wake_chain_p99_us` — p99 of the send-to-
+  receiver-running latency with the receiver parked. Ceiling-gated
+  high above the measured tail: a thundering herd or a wakeup retry
+  loop in the channel park path blows through it immediately.
 
 Usage: ci/bench_gate.py [repo-root]
 """
@@ -111,6 +118,19 @@ GATES = [
         ceiling=10.0,
         tolerance=0.0,
         why="enabled stat histograms exceed the 10 ns/op overhead budget",
+    ),
+    Gate(
+        "BENCH_chan.json",
+        "pipeline_msgs_per_ms",
+        tolerance=0.75,
+        why="the channel actor pipeline got dramatically slower",
+    ),
+    Gate(
+        "BENCH_chan.json",
+        "wake_chain_p99_us",
+        ceiling=5000.0,
+        tolerance=0.0,
+        why="the parked-receiver wake chain grew a pathological tail",
     ),
 ]
 

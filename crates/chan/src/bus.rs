@@ -1,0 +1,65 @@
+//! A subscribe/publish event bus over channel endpoints.
+//!
+//! Each subscriber owns the receive half of a private unbounded channel;
+//! `publish` clones the event into every live subscriber's queue and
+//! prunes subscribers whose receivers have been dropped. Publishing
+//! never blocks (the per-subscriber channels are unbounded), so a slow
+//! subscriber delays only itself.
+
+use std::sync::Mutex;
+
+use crate::channel::{unbounded, Receiver, Sender};
+use crate::error::TrySendError;
+
+/// A broadcast bus: every event published reaches every subscriber
+/// alive at publish time, in publish order per subscriber.
+pub struct EventBus<E> {
+    subs: Mutex<Vec<Sender<E>>>,
+}
+
+impl<E: Clone + Send> EventBus<E> {
+    /// An empty bus.
+    pub fn new() -> EventBus<E> {
+        EventBus {
+            subs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds a subscriber and returns its receive endpoint. Dropping the
+    /// receiver unsubscribes (the dead entry is pruned on the next
+    /// publish).
+    pub fn subscribe(&self) -> Receiver<E> {
+        let (tx, rx) = unbounded();
+        self.subs.lock().unwrap_or_else(|e| e.into_inner()).push(tx);
+        rx
+    }
+
+    /// Delivers `event` to every live subscriber; returns how many
+    /// received it.
+    pub fn publish(&self, event: &E) -> usize {
+        let mut subs = self.subs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut delivered = 0;
+        subs.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => {
+                delivered += 1;
+                true
+            }
+            // Unbounded channels are never Full; the only failure is a
+            // dropped receiver, which unsubscribes.
+            Err(TrySendError::Disconnected(_)) | Err(TrySendError::Full(_)) => false,
+        });
+        delivered
+    }
+
+    /// Live subscribers as of the last publish (dead entries linger
+    /// until then).
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl<E: Clone + Send> Default for EventBus<E> {
+    fn default() -> EventBus<E> {
+        EventBus::new()
+    }
+}

@@ -1,0 +1,100 @@
+//! Channel error types, shaped like `std::sync::mpsc`'s so call sites
+//! read familiarly.
+
+use std::fmt;
+
+/// `send` failed because every receiver is gone; the unsent message is
+/// handed back.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+/// `try_send` failed.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is full right now; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// `recv` failed: every sender is gone and the queue is drained.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+/// `try_recv` failed.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum TryRecvError {
+    /// No message right now.
+    Empty,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+/// `recv_timeout` failed.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "Full(..)",
+            TrySendError::Disconnected(_) => "Disconnected(..)",
+        })
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a channel with no receivers",
+        })
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TryRecvError::Empty => "receiving on an empty channel",
+            TryRecvError::Disconnected => "receiving on an empty channel with no senders",
+        })
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecvTimeoutError::Timeout => "timed out receiving on an empty channel",
+            RecvTimeoutError::Disconnected => "receiving on an empty channel with no senders",
+        })
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+impl<T> std::error::Error for TrySendError<T> {}
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}

@@ -249,6 +249,7 @@ mod tests {
             flags: 0,
             crits: 0,
             runq_shards: 0,
+            chan_caps: vec![],
             final_counters: vec![(0, 2)],
             expect: Expect::FailContaining("counter"),
             min_schedules: 0,

@@ -233,6 +233,57 @@ pub enum SyncOp {
         /// The shard robbed without holding its lock.
         victim: usize,
     },
+    /// `chan::send` on a bounded channel: commit the message in one
+    /// atomic step, read the waiter count and wake in the next (the
+    /// store-then-wake window `sunmt-chan`'s eventcount fence guards);
+    /// park on a full queue via register / re-check / atomic park.
+    ChanSend {
+        /// The channel.
+        chan: usize,
+    },
+    /// `chan::recv`: pop in one atomic step (every message id must be
+    /// received exactly once — the double-recv oracle), wake one parked
+    /// sender in the next; when empty, register as a waiter, *re-check
+    /// the queue*, and only then park — the lost-wakeup-free discipline.
+    ChanRecv {
+        /// The channel.
+        chan: usize,
+    },
+    /// The seeded-buggy `chan::recv`: registers and parks without the
+    /// post-registration re-check, so a message committed between its
+    /// empty-probe and its registration sleeps forever — the lost
+    /// wakeup the real receiver's re-check exists to close.
+    ChanRecvNoRecheck {
+        /// The channel.
+        chan: usize,
+    },
+    /// The seeded-buggy MPMC `chan::recv`: *peeks* the head and pops in
+    /// a second, separate step. Two racing receivers peek the same
+    /// message and both account it — the double-recv race a single
+    /// claim-CAS exists to prevent.
+    ChanRecvRacyPeek {
+        /// The channel.
+        chan: usize,
+    },
+    /// `Select` over two channels: register a one-shot hook on each
+    /// (separate steps), then scan-and-consume or atomically park; a
+    /// send fires the hooks and the woken selector re-registers and
+    /// re-scans (the crossbeam `ready()` contract).
+    ChanSelect {
+        /// First channel, scanned first.
+        a: usize,
+        /// Second channel.
+        b: usize,
+    },
+    /// The seeded-buggy select: scans for readiness *before* registering
+    /// its hooks and parks without a re-scan, so a send landing in the
+    /// gap fires no hook and the selector sleeps on a ready channel.
+    ChanSelectRacy {
+        /// First channel, scanned first.
+        a: usize,
+        /// Second channel.
+        b: usize,
+    },
 }
 
 /// What the explorer expects from a model.
@@ -271,6 +322,10 @@ pub struct Model {
     /// non-zero the final-state oracle requires every pushed item to have
     /// been dispatched exactly once and every queue to drain.
     pub runq_shards: usize,
+    /// Capacities of the modelled bounded channels (length = channel
+    /// count). The final-state oracle requires every channel to drain;
+    /// the double-recv oracle convicts any message received twice.
+    pub chan_caps: Vec<usize>,
     /// Expected final counter values, checked after all threads exit.
     pub final_counters: Vec<(usize, u64)>,
     /// What the explorer should find.
@@ -359,6 +414,24 @@ struct RunqSt {
     dispatched: Vec<u64>,
 }
 
+/// The modelled bounded channel: a FIFO of message ids plus the two
+/// waiter queues and the select hook list the real `Chan` carries. The
+/// oracle is delivery integrity — every id received exactly once.
+struct ChanSt {
+    cap: usize,
+    queue: VecDeque<u64>,
+    /// Next message id (and the count of messages ever sent).
+    next_id: u64,
+    /// Every id received, in receive order — duplicates convict.
+    received: Vec<u64>,
+    /// Parked receivers: `(thread, resume_micro)`.
+    recv_waiters: VecDeque<(usize, u32)>,
+    /// Parked senders: `(thread, resume_micro)`.
+    send_waiters: VecDeque<(usize, u32)>,
+    /// One-shot select hooks, drained when a send fires them.
+    hooks: VecDeque<(usize, u32)>,
+}
+
 struct ThreadSt {
     ops: Vec<SyncOp>,
     pc: usize,
@@ -382,6 +455,8 @@ pub enum BlockedOn {
     Rw(usize),
     /// An idle run-queue dispatcher parked waiting for work.
     Runq,
+    /// Parked on a channel (as receiver, sender, or select waiter).
+    Chan(usize),
 }
 
 /// What a micro-step asks the kernel to do next.
@@ -402,6 +477,7 @@ pub struct World {
     flags: Vec<bool>,
     crit: Vec<Option<usize>>,
     runq: RunqSt,
+    chans: Vec<ChanSt>,
     threads: Vec<ThreadSt>,
     /// Thread index -> simkernel LWP id (filled at setup).
     lwp_ids: Vec<SimLwpId>,
@@ -453,6 +529,19 @@ impl World {
                 pushed: 0,
                 dispatched: Vec::new(),
             },
+            chans: model
+                .chan_caps
+                .iter()
+                .map(|cap| ChanSt {
+                    cap: *cap,
+                    queue: VecDeque::new(),
+                    next_id: 0,
+                    received: Vec::new(),
+                    recv_waiters: VecDeque::new(),
+                    send_waiters: VecDeque::new(),
+                    hooks: VecDeque::new(),
+                })
+                .collect(),
             threads: model
                 .threads
                 .iter()
@@ -514,6 +603,16 @@ impl World {
                         .iter()
                         .any(|(w, _)| *w == t)
                         .then_some(BlockedOn::Runq)
+                })
+                .or_else(|| {
+                    self.chans
+                        .iter()
+                        .position(|c| {
+                            c.recv_waiters.iter().any(|(w, _)| *w == t)
+                                || c.send_waiters.iter().any(|(w, _)| *w == t)
+                                || c.hooks.iter().any(|(w, _)| *w == t)
+                        })
+                        .map(BlockedOn::Chan)
                 });
             if let Some(on) = on {
                 out.push((t, on));
@@ -918,6 +1017,12 @@ impl World {
             SyncOp::RunqInjectPush => self.runq_push_machine(t, None, wakes),
             SyncOp::RunqPop { shard } => self.runq_pop_machine(t, shard),
             SyncOp::RunqStealRacy { victim } => self.runq_racy_steal_machine(t, victim),
+            SyncOp::ChanSend { chan } => self.chan_send_machine(t, chan, wakes),
+            SyncOp::ChanRecv { chan } => self.chan_recv_machine(t, chan, true, wakes),
+            SyncOp::ChanRecvNoRecheck { chan } => self.chan_recv_machine(t, chan, false, wakes),
+            SyncOp::ChanRecvRacyPeek { chan } => self.chan_racy_peek_machine(t, chan),
+            SyncOp::ChanSelect { a, b } => self.chan_select_machine(t, a, b, false, wakes),
+            SyncOp::ChanSelectRacy { a, b } => self.chan_select_machine(t, a, b, true, wakes),
         }
     }
 
@@ -1374,6 +1479,255 @@ impl World {
         }
     }
 
+    // -----------------------------------------------------------------
+    // The channel machines. The modelled protocol matches `sunmt-chan`:
+    // a send commits the message in one atomic step and reads the waiter
+    // count in the next (the window the eventcount fence guards); every
+    // blocking path registers, re-checks, and only then parks atomically
+    // (`strategy::park` on an event word). Each pop is one atomic step —
+    // the Vyukov claim-CAS.
+
+    /// Records a receive of `id` on channel `c`; fails the run when the
+    /// same message is accounted twice (the double-recv oracle).
+    fn chan_account_recv(&mut self, t: usize, c: usize, id: u64) {
+        if self.chans[c].received.contains(&id) {
+            self.fail(t, format!("chan {c} message {id} received twice"));
+            return;
+        }
+        self.chans[c].received.push(id);
+        let depth = self.chans[c].queue.len() as u64;
+        self.push_event(t, Tag::ChanRecv, c as u64, depth);
+    }
+
+    /// The send-side epilogue: read the receiver-waiter count, wake one,
+    /// and fire every registered select hook (one-shot: drained here).
+    fn chan_fire(&mut self, t: usize, c: usize, wakes: &mut Vec<usize>) {
+        if let Some((w, resume)) = self.chans[c].recv_waiters.pop_front() {
+            self.wake(w, resume, wakes);
+        }
+        let hooks: Vec<(usize, u32)> = self.chans[c].hooks.drain(..).collect();
+        for (w, resume) in hooks {
+            self.push_event(t, Tag::SelectWake, c as u64, w as u64);
+            self.wake(w, resume, wakes);
+        }
+    }
+
+    /// `ChanSend`: micro 0 commits the message (or routes to the park
+    /// path when full), micro 1 wakes — commit and wake are separate
+    /// steps, the real store-then-wake ordering. Micro 2 registers as a
+    /// send waiter, micro 3 re-checks capacity and parks atomically.
+    fn chan_send_machine(&mut self, t: usize, c: usize, wakes: &mut Vec<usize>) -> NextStep {
+        match self.threads[t].micro {
+            0 => {
+                if self.chans[c].queue.len() < self.chans[c].cap {
+                    let id = self.chans[c].next_id;
+                    self.chans[c].next_id += 1;
+                    self.chans[c].queue.push_back(id);
+                    let depth = self.chans[c].queue.len() as u64;
+                    self.push_event(t, Tag::ChanSend, c as u64, depth);
+                    self.threads[t].micro = 1;
+                } else {
+                    self.threads[t].micro = 2;
+                }
+                NextStep::Yield
+            }
+            1 => {
+                self.chan_fire(t, c, wakes);
+                self.advance(t);
+                NextStep::Yield
+            }
+            2 => {
+                self.chans[c].send_waiters.push_back((t, 0));
+                self.threads[t].micro = 3;
+                NextStep::Yield
+            }
+            _ => {
+                if self.chans[c].queue.len() < self.chans[c].cap {
+                    // A receiver drained a slot since the probe: retry
+                    // instead of parking (the event word moved).
+                    self.chans[c].send_waiters.retain(|(w, _)| *w != t);
+                    self.threads[t].micro = 0;
+                    NextStep::Yield
+                } else {
+                    self.push_event(t, Tag::ChanPark, c as u64, 1);
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+
+    /// `ChanRecv` (`recheck = true`) and the seeded `ChanRecvNoRecheck`
+    /// (`recheck = false`). Micro 0 pops atomically, micro 1 wakes one
+    /// parked sender, micro 2 registers as a receive waiter, micro 3
+    /// re-checks the queue (the correct machine only) and parks.
+    fn chan_recv_machine(
+        &mut self,
+        t: usize,
+        c: usize,
+        recheck: bool,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        match self.threads[t].micro {
+            0 => {
+                if let Some(id) = self.chans[c].queue.pop_front() {
+                    self.chan_account_recv(t, c, id);
+                    if self.chans[c].send_waiters.is_empty() {
+                        self.advance(t);
+                    } else {
+                        self.threads[t].micro = 1;
+                    }
+                } else {
+                    self.threads[t].micro = 2;
+                }
+                NextStep::Yield
+            }
+            1 => {
+                if let Some((w, resume)) = self.chans[c].send_waiters.pop_front() {
+                    self.wake(w, resume, wakes);
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
+            2 => {
+                self.chans[c].recv_waiters.push_back((t, 0));
+                self.threads[t].micro = 3;
+                NextStep::Yield
+            }
+            _ => {
+                if recheck && !self.chans[c].queue.is_empty() {
+                    // A message was committed between the empty probe and
+                    // the registration; the re-check consumes the wakeup
+                    // the sender never sent.
+                    self.chans[c].recv_waiters.retain(|(w, _)| *w != t);
+                    self.threads[t].micro = 0;
+                    NextStep::Yield
+                } else {
+                    self.push_event(t, Tag::ChanPark, c as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        }
+    }
+
+    /// `ChanRecvRacyPeek`: micro 0 *peeks* the head (or registers and
+    /// parks, atomically, when empty); micro 1 pops whatever is at the
+    /// head *now* but accounts the peeked id — two racing receivers peek
+    /// the same message and the double-recv oracle convicts.
+    fn chan_racy_peek_machine(&mut self, t: usize, c: usize) -> NextStep {
+        if self.threads[t].micro == 0 {
+            match self.chans[c].queue.front() {
+                Some(&id) => {
+                    self.threads[t].scratch = id;
+                    self.threads[t].micro = 1;
+                    NextStep::Yield
+                }
+                None => {
+                    self.chans[c].recv_waiters.push_back((t, 0));
+                    self.push_event(t, Tag::ChanPark, c as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        } else {
+            let id = self.threads[t].scratch;
+            self.chans[c].queue.pop_front();
+            self.chan_account_recv(t, c, id);
+            self.advance(t);
+            NextStep::Yield
+        }
+    }
+
+    /// Registers `t`'s select hook on channel `c` (idempotent, like the
+    /// real `register_hook`'s dedup).
+    fn chan_hook_register(&mut self, t: usize, c: usize) {
+        if !self.chans[c].hooks.iter().any(|(w, _)| *w == t) {
+            self.chans[c].hooks.push_back((t, 0));
+        }
+    }
+
+    /// One ready-scan in add order: consume the head of the first
+    /// non-empty channel and drop both hook registrations.
+    fn chan_select_consume(&mut self, t: usize, a: usize, b: usize) -> bool {
+        for c in [a, b] {
+            if let Some(id) = self.chans[c].queue.pop_front() {
+                self.chan_account_recv(t, c, id);
+                self.chans[a].hooks.retain(|(w, _)| *w != t);
+                self.chans[b].hooks.retain(|(w, _)| *w != t);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `ChanSelect` (`racy = false`): register a hook on each channel
+    /// (micro 0 and 1, separate steps), then scan-and-consume or park
+    /// atomically (micro 2); a fired hook re-enters at micro 0 and
+    /// re-registers — one-shot hooks make that idempotent.
+    ///
+    /// `ChanSelectRacy` scans *first* (micro 0), registers after (micro
+    /// 1 and 2), and parks blind (micro 3) — a send landing between the
+    /// scan and the registrations fires no hook and is never noticed.
+    fn chan_select_machine(
+        &mut self,
+        t: usize,
+        a: usize,
+        b: usize,
+        racy: bool,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        let _ = wakes;
+        if racy {
+            match self.threads[t].micro {
+                0 => {
+                    if self.chan_select_consume(t, a, b) {
+                        self.advance(t);
+                    } else {
+                        self.threads[t].micro = 1;
+                    }
+                    NextStep::Yield
+                }
+                1 => {
+                    self.chan_hook_register(t, a);
+                    self.threads[t].micro = 2;
+                    NextStep::Yield
+                }
+                2 => {
+                    self.chan_hook_register(t, b);
+                    self.threads[t].micro = 3;
+                    NextStep::Yield
+                }
+                _ => {
+                    // Parks without re-scanning: the seeded bug.
+                    self.push_event(t, Tag::ChanPark, a as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        } else {
+            match self.threads[t].micro {
+                0 => {
+                    self.chan_hook_register(t, a);
+                    self.threads[t].micro = 1;
+                    NextStep::Yield
+                }
+                1 => {
+                    self.chan_hook_register(t, b);
+                    self.threads[t].micro = 2;
+                    NextStep::Yield
+                }
+                _ => {
+                    if self.chan_select_consume(t, a, b) {
+                        self.advance(t);
+                        NextStep::Yield
+                    } else {
+                        // Atomic scan-then-park: anything committed after
+                        // the registrations would have fired our hook.
+                        self.push_event(t, Tag::ChanPark, a as u64, 0);
+                        self.park(t, None)
+                    }
+                }
+            }
+        }
+    }
+
     /// `RunqStealRacy`: micro 0 *peeks* the victim's head (or parks when
     /// it is empty), micro 1 dispatches the peeked id and pops whatever
     /// is at the head *now* — the lost-lock window two racing thieves
@@ -1564,6 +1918,29 @@ fn classify(model: &Model, world: &World) -> Option<String> {
                 }
             }
         }
+        // A thread parked on a channel that has a message queued (or a
+        // free slot, for senders) is the channel lost-wakeup signature:
+        // the wake it needed was issued while it was not yet registered.
+        for (t, on) in &blocked {
+            if let BlockedOn::Chan(_) = on {
+                for (c, ch) in world.chans.iter().enumerate() {
+                    let recv_side = ch.recv_waiters.iter().any(|(w, _)| w == t)
+                        || ch.hooks.iter().any(|(w, _)| w == t);
+                    if recv_side && !ch.queue.is_empty() {
+                        return Some(format!(
+                            "lost wakeup: thread {t} parked on chan {c} with {} message(s) queued",
+                            ch.queue.len()
+                        ));
+                    }
+                    let send_side = ch.send_waiters.iter().any(|(w, _)| w == t);
+                    if send_side && ch.queue.len() < ch.cap {
+                        return Some(format!(
+                            "lost wakeup: thread {t} parked sending on chan {c} with free capacity"
+                        ));
+                    }
+                }
+            }
+        }
         let desc: Vec<String> = blocked
             .iter()
             .map(|(t, on)| format!("thread {t} on {on:?}"))
@@ -1594,6 +1971,18 @@ fn classify(model: &Model, world: &World) -> Option<String> {
             rq.dispatched.len(),
         ));
     }
+    // Channel delivery integrity: duplicates were convicted eagerly;
+    // here every sent message must also have been drained.
+    for (c, ch) in world.chans.iter().enumerate() {
+        if !ch.queue.is_empty() {
+            return Some(format!(
+                "chan {c} lost work: sent {}, received {}, {} still queued",
+                ch.next_id,
+                ch.received.len(),
+                ch.queue.len(),
+            ));
+        }
+    }
     None
 }
 
@@ -1617,6 +2006,7 @@ mod tests {
             flags: 0,
             crits: 0,
             runq_shards: 0,
+            chan_caps: vec![],
             final_counters: vec![(0, 2)],
             expect: Expect::Pass,
             min_schedules: 0,

@@ -25,6 +25,7 @@ fn base(name: &'static str, about: &'static str, threads: Vec<Vec<SyncOp>>) -> M
         flags: 0,
         crits: 0,
         runq_shards: 0,
+        chan_caps: vec![],
         final_counters: vec![],
         expect: Expect::Pass,
         min_schedules: 0,
@@ -461,6 +462,42 @@ pub fn catalogue() -> Vec<Model> {
                 ],
             )
         },
+        // ----------------------------------------------------- channels
+        Model {
+            chan_caps: vec![2],
+            preemption_bound: Some(3),
+            min_schedules: 1_000,
+            variants: vec![Variant::Default],
+            ..base(
+                "chan_mpsc",
+                "two producers fill a depth-2 bounded channel; one consumer drains all four",
+                vec![
+                    vec![ChanSend { chan: 0 }, ChanSend { chan: 0 }],
+                    vec![ChanSend { chan: 0 }, ChanSend { chan: 0 }],
+                    vec![
+                        ChanRecv { chan: 0 },
+                        ChanRecv { chan: 0 },
+                        ChanRecv { chan: 0 },
+                        ChanRecv { chan: 0 },
+                    ],
+                ],
+            )
+        },
+        Model {
+            chan_caps: vec![2, 2],
+            preemption_bound: Some(3),
+            min_schedules: 400,
+            variants: vec![Variant::Default],
+            ..base(
+                "chan_select",
+                "a selector multi-waits on two channels fed by independent producers",
+                vec![
+                    vec![ChanSend { chan: 0 }],
+                    vec![Work(1), ChanSend { chan: 1 }],
+                    vec![ChanSelect { a: 0, b: 1 }, ChanSelect { a: 0, b: 1 }],
+                ],
+            )
+        },
         // ----------------------------------------- negatives (seeded bugs)
         Model {
             runq_shards: 3,
@@ -570,6 +607,47 @@ pub fn catalogue() -> Vec<Model> {
             )
         },
         Model {
+            chan_caps: vec![2],
+            variants: vec![Variant::Default],
+            expect: Expect::FailContaining("lost wakeup"),
+            ..base(
+                "neg_chan_lost_wakeup",
+                "receiver parks without re-checking the queue after registering as a waiter",
+                vec![
+                    vec![Work(1), ChanSend { chan: 0 }],
+                    vec![ChanRecvNoRecheck { chan: 0 }],
+                ],
+            )
+        },
+        Model {
+            chan_caps: vec![2],
+            preemption_bound: Some(3),
+            variants: vec![Variant::Default],
+            expect: Expect::FailContaining("received twice"),
+            ..base(
+                "neg_chan_double_recv",
+                "two receivers peek the head and pop in a second step; both account one message",
+                vec![
+                    vec![ChanSend { chan: 0 }, ChanSend { chan: 0 }],
+                    vec![ChanRecvRacyPeek { chan: 0 }],
+                    vec![ChanRecvRacyPeek { chan: 0 }],
+                ],
+            )
+        },
+        Model {
+            chan_caps: vec![2, 2],
+            variants: vec![Variant::Default],
+            expect: Expect::FailContaining("lost wakeup"),
+            ..base(
+                "neg_chan_select_race",
+                "select scans for readiness before registering hooks; a send lands in the gap",
+                vec![
+                    vec![Work(1), ChanSend { chan: 0 }],
+                    vec![ChanSelectRacy { a: 0, b: 1 }],
+                ],
+            )
+        },
+        Model {
             mutexes: 1,
             expect: Expect::FailContaining("recursive"),
             variants: vec![Variant::Debug],
@@ -667,6 +745,19 @@ mod tests {
                         }
                         SyncOp::RunqInjectPush => {
                             assert!(m.runq_shards > 0, "{}: injection without a runq", m.name)
+                        }
+                        SyncOp::ChanSend { chan }
+                        | SyncOp::ChanRecv { chan }
+                        | SyncOp::ChanRecvNoRecheck { chan }
+                        | SyncOp::ChanRecvRacyPeek { chan } => {
+                            assert!(chan < m.chan_caps.len(), "{}: chan {chan}", m.name)
+                        }
+                        SyncOp::ChanSelect { a, b } | SyncOp::ChanSelectRacy { a, b } => {
+                            assert!(
+                                a < m.chan_caps.len() && b < m.chan_caps.len(),
+                                "{}: select chans {a},{b}",
+                                m.name
+                            )
                         }
                         SyncOp::Work(_) | SyncOp::AssertTimedOut(_) | SyncOp::SleepFor(_) => {}
                     }

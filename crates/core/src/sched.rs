@@ -925,12 +925,17 @@ pub(crate) fn yield_current() {
     }
 }
 
-pub(crate) fn user_unpark(addr: usize, n: usize) {
+/// Wakes up to `n` user-level sleepers on `addr` and returns how many it
+/// found. A return of `n` tells the caller every requested wake was
+/// satisfied at user level, so the kernel-futex half can be skipped.
+pub(crate) fn user_unpark(addr: usize, n: usize) -> usize {
     let woken = mt().sleepers.take(addr, n);
+    let count = woken.len();
     for t in woken {
         probe!(Tag::Wakeup, t.id.0, addr);
         make_runnable(t);
     }
+    count
 }
 
 /// Wait morphing, user-level half: wakes up to `wake_n` threads sleeping

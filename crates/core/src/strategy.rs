@@ -85,7 +85,15 @@ impl BlockStrategy for MtStrategy {
         // Wake user-level sleepers first (cheap, no kernel), then kernel
         // waiters. Waking up to `n` of each may over-wake; the futex-shaped
         // contract permits spurious wakes and all callers re-check.
-        sched::user_unpark(word.as_ptr() as usize, n as usize);
+        let woken = sched::user_unpark(word.as_ptr() as usize, n as usize);
+        // If the user-level queue satisfied every requested wake, skip the
+        // kernel syscall: the contract only promises *up to* `n` wakes, and
+        // any bound waiter that raced in will be found by the next unpark
+        // (its waker re-checks the word before parking). Never skipped for
+        // wake-all — `n == u32::MAX` must always flush kernel waiters too.
+        if woken >= n as usize && n != u32::MAX {
+            return;
+        }
         sunmt_trace::probe!(sunmt_trace::Tag::FutexWake, word.as_ptr() as usize, n);
         let _ = futex::wake(word, n, Scope::Private);
     }

@@ -103,10 +103,16 @@ pub enum Hs {
     PollerWait = 5,
     /// Calibration histogram for the `abl_stat_overhead` bench.
     BenchLat = 6,
+    /// Channel send latency (call to slot committed), all channels merged.
+    ChanSend = 7,
+    /// Channel receive latency (call to message out, including any park).
+    ChanRecv = 8,
+    /// Channel queue depth observed after each send.
+    ChanDepth = 9,
 }
 
 /// Number of histograms.
-pub const NHISTS: usize = 7;
+pub const NHISTS: usize = 10;
 
 impl Hs {
     /// Every histogram, indexed by discriminant.
@@ -118,6 +124,9 @@ impl Hs {
         Hs::IoWait,
         Hs::PollerWait,
         Hs::BenchLat,
+        Hs::ChanSend,
+        Hs::ChanRecv,
+        Hs::ChanDepth,
     ];
 
     /// Exposition name (`snake_case`, stable).
@@ -130,13 +139,16 @@ impl Hs {
             Hs::IoWait => "io_wait",
             Hs::PollerWait => "poller_wait",
             Hs::BenchLat => "bench_lat",
+            Hs::ChanSend => "chan_send",
+            Hs::ChanRecv => "chan_recv",
+            Hs::ChanDepth => "chan_depth",
         }
     }
 
     /// What the recorded values are.
     pub fn unit(self) -> Unit {
         match self {
-            Hs::MutexSpin => Unit::Count,
+            Hs::MutexSpin | Hs::ChanDepth => Unit::Count,
             _ => Unit::Cycles,
         }
     }
@@ -390,6 +402,10 @@ pub struct Snapshot {
     pub locks: Vec<LockSnapshot>,
     /// Registered gauge sources, sampled now.
     pub sources: Vec<(&'static str, Vec<(String, u64)>)>,
+    /// Trace events lost to ring overwrites (process lifetime total from
+    /// [`sunmt_trace::dropped`]); nonzero means the trace timeline has
+    /// holes and the rings need draining more often.
+    pub trace_dropped: u64,
 }
 
 impl Snapshot {
@@ -450,6 +466,7 @@ pub fn snapshot() -> Snapshot {
         hists,
         locks: lock::snapshot(),
         sources,
+        trace_dropped: sunmt_trace::dropped(),
     }
 }
 

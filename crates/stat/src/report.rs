@@ -156,6 +156,8 @@ pub fn render_prometheus(s: &Snapshot) -> String {
             let _ = writeln!(out, "sunmt_{name}_{k} {v}");
         }
     }
+    let _ = writeln!(out, "# TYPE sunmt_trace_dropped_total counter");
+    let _ = writeln!(out, "sunmt_trace_dropped_total {}", s.trace_dropped);
     out
 }
 
@@ -245,7 +247,8 @@ pub fn render_json(s: &Snapshot) -> String {
         }
         out.push('}');
     }
-    out.push_str("}}");
+    let _ = write!(out, "}},\"trace_dropped\":{}", s.trace_dropped);
+    out.push('}');
     out
 }
 

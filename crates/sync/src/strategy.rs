@@ -11,6 +11,13 @@
 //! The contract is futex-shaped, which both backends implement naturally:
 //! `park(word, expected)` sleeps only while `*word == expected`, and
 //! `unpark(word, n)` releases up to `n` sleepers.
+//!
+//! Sync variables are not the only clients: `sunmt-chan` parks its
+//! channel waiters, select waiters, and async `Waker`s on private
+//! eventcount words through the same entry points, so every message
+//! wait inherits the two-level blocking split (and the scheduler's
+//! futex-elision on user-level wakes) without that crate knowing which
+//! backend is installed.
 
 use core::sync::atomic::AtomicU32;
 use core::time::Duration;

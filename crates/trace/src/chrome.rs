@@ -69,7 +69,11 @@ fn render_class(tag: Tag) -> RenderClass {
         | Tag::SleepqShard
         | Tag::MagazineHit
         | Tag::MagazineMiss
-        | Tag::FutexWake => RenderClass::Instant,
+        | Tag::FutexWake
+        | Tag::ChanSend
+        | Tag::ChanRecv
+        | Tag::ChanPark
+        | Tag::SelectWake => RenderClass::Instant,
     }
 }
 

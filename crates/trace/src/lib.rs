@@ -220,6 +220,18 @@ pub fn drain() -> Vec<Event> {
     out
 }
 
+/// Total events overwritten before they could be drained, summed across
+/// every LWP's ring. A nonzero value means the timeline from [`drain`] has
+/// holes; scrapers read it through `sunmt-stat`'s report surfaces.
+pub fn dropped() -> u64 {
+    registry()
+        .lock()
+        .expect("trace registry")
+        .iter()
+        .map(|r| r.dropped())
+        .sum()
+}
+
 /// Snapshot of the per-tag totals for the current epoch.
 pub fn counters() -> Counters {
     let mut c = Counters::default();

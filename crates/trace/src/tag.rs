@@ -115,10 +115,22 @@ pub enum Tag {
     /// word, `b` = wake count requested). The thundering-herd regression
     /// test counts these around a broadcast.
     FutexWake = 43,
+    /// A message was committed into a channel slot (`a` = channel address,
+    /// `b` = queue depth after the send).
+    ChanSend = 44,
+    /// A message was taken out of a channel slot (`a` = channel address,
+    /// `b` = queue depth after the receive).
+    ChanRecv = 45,
+    /// A channel operation found no slot/message and parked the caller
+    /// (`a` = channel address, `b` = 0 receiver / 1 sender).
+    ChanPark = 46,
+    /// A select wait was woken by one of its registered channels (`a` =
+    /// channel address that fired, `b` = waiter's wait-word address).
+    SelectWake = 47,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 44;
+pub const NTAGS: usize = 48;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -167,6 +179,10 @@ impl Tag {
         Tag::MagazineHit,
         Tag::MagazineMiss,
         Tag::FutexWake,
+        Tag::ChanSend,
+        Tag::ChanRecv,
+        Tag::ChanPark,
+        Tag::SelectWake,
     ];
 
     /// Decodes a stored discriminant.
@@ -221,6 +237,10 @@ impl Tag {
             Tag::MagazineHit => "magazine-hit",
             Tag::MagazineMiss => "magazine-miss",
             Tag::FutexWake => "futex-wake",
+            Tag::ChanSend => "chan-send",
+            Tag::ChanRecv => "chan-recv",
+            Tag::ChanPark => "chan-park",
+            Tag::SelectWake => "select-wake",
         }
     }
 }

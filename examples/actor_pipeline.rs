@@ -1,0 +1,91 @@
+//! Actor pipeline: a 3-stage channel topology over the LWP pool.
+//!
+//! Each stage is a small pool of *unbound* threads receiving from the
+//! previous hop and sending to the next — tokenize, annotate, format —
+//! so every blocking send/recv is a user-level sleep multiplexed over
+//! the pool, not a parked kernel thread. The sink drains concurrently
+//! with the source: a bounded pipeline only holds `cap` messages per
+//! hop, and backpressure does the rest.
+//!
+//! Run with: `cargo run --release --example actor_pipeline`
+
+use sunos_mt::chan::{self, Receiver, Sender};
+use sunos_mt::threads::{self, CreateFlags, ThreadBuilder, ThreadId};
+
+const WORKERS: usize = 2;
+const LINES: usize = 50;
+
+/// Spawns one stage: `WORKERS` unbound actors applying `f` to every
+/// message from `rx` and forwarding the result into `tx`.
+fn stage<I, O>(
+    rx: Receiver<I>,
+    tx: Sender<O>,
+    f: impl Fn(I) -> O + Clone + Send + 'static,
+) -> Vec<ThreadId>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    (0..WORKERS)
+        .map(|_| {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let f = f.clone();
+            ThreadBuilder::new()
+                .flags(CreateFlags::WAIT)
+                .spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        tx.send(f(v)).expect("downstream stage alive");
+                    }
+                    // Dropping this worker's sender propagates the
+                    // upstream disconnect to the next stage.
+                })
+                .expect("spawn stage worker")
+        })
+        .collect()
+}
+
+fn main() {
+    threads::init();
+
+    let (src_tx, src_rx) = chan::bounded::<usize>(8);
+    let (tok_tx, tok_rx) = chan::bounded::<(usize, usize)>(8);
+    let (fmt_tx, fmt_rx) = chan::bounded::<String>(8);
+
+    let mut ids = Vec::new();
+    // Stage 1: "tokenize" — pair each line number with a token count.
+    ids.extend(stage(src_rx, tok_tx, |n| (n, n % 7 + 1)));
+    // Stage 2: "format" — render the annotated record.
+    ids.extend(stage(tok_rx, fmt_tx, |(n, toks)| {
+        format!("line {n}: {toks} token(s)")
+    }));
+    // Stage 3 is the sink below, on the main thread.
+
+    // The source is its own actor so the sink can drain concurrently.
+    ids.push(
+        ThreadBuilder::new()
+            .flags(CreateFlags::WAIT)
+            .spawn(move || {
+                for n in 0..LINES {
+                    src_tx.send(n).expect("pipeline alive");
+                }
+            })
+            .expect("spawn source"),
+    );
+
+    let mut got = 0;
+    while let Ok(line) = fmt_rx.recv() {
+        if got % 10 == 0 {
+            println!("{line}");
+        }
+        got += 1;
+    }
+    for id in ids {
+        threads::wait(Some(id)).expect("join actor");
+    }
+    assert_eq!(got, LINES, "pipeline lost messages");
+    println!(
+        "{got} lines through 2 channel hops x {WORKERS} workers on {} LWP(s)",
+        threads::concurrency()
+    );
+}

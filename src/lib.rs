@@ -10,6 +10,7 @@
 //! | [`threads`] | `sunmt` | user-level threads on LWPs (the contribution) |
 //! | [`sync`] | `sunmt-sync` | mutex / condvar / semaphore / rwlock variables |
 //! | [`io`] | `sunmt-io` | thread-aware blocking I/O (poller LWP) |
+//! | [`chan`] | `sunmt-chan` | channels, select, event bus, async bridge |
 //! | [`lwp`] | `sunmt-lwp` | kernel-supported threads of control |
 //! | [`context`] | `sunmt-context` | register context switch + stacks |
 //! | [`shm`] | `sunmt-shm` | sync variables in `MAP_SHARED` files |
@@ -51,6 +52,11 @@ pub mod sync {
 /// Thread-aware blocking I/O (`sunmt-io`).
 pub mod io {
     pub use sunmt_io::*;
+}
+
+/// Channels, select, event bus, and the async bridge (`sunmt-chan`).
+pub mod chan {
+    pub use sunmt_chan::*;
 }
 
 /// Lightweight processes (`sunmt-lwp`).

@@ -70,6 +70,28 @@ const CORPUS: &[(&str, &str)] = &[
         "v1/neg_cv_morph_timeout/default/0.2.2.2.2.0.1.1.1.1.1.1.1",
         "timed_out=true",
     ),
+    // Channel lost wakeup: the receiver finds the ring empty, the send
+    // commits and fires its wakeup before the receiver registers, and
+    // the buggy no-recheck variant parks anyway with a message queued.
+    // Found by the exhaustive sweep.
+    ("v1/neg_chan_lost_wakeup/default/1.0.1.1.1", "lost wakeup"),
+    // Peek-then-pop double receive: both racy receivers peek message 0
+    // before either pops, so one accounts a message the other already
+    // took. Found by the exhaustive sweep.
+    (
+        "v1/neg_chan_double_recv/default/1.1.0.1.1.1.1.1.0.0",
+        "received twice",
+    ),
+    // Select variant of the lost wakeup: the racy selector scans its
+    // ports *before* registering hooks, so the send that lands between
+    // scan and park never fires a hook. Found by the exhaustive sweep.
+    ("v1/neg_chan_select_race/default/1.0.1.1.1", "lost wakeup"),
+    // Adversarial passing schedules: maximal alternation through the
+    // MPSC commit/wake/park machine, and a select interleaving where
+    // both producers race the selector's hook registration, must both
+    // deliver every message exactly once.
+    ("v1/chan_mpsc/default/1.1.1.1.1.1.1.1.1.1.1.1", ""),
+    ("v1/chan_select/default/1.1.0.1.1.0.1.1", ""),
 ];
 
 #[test]

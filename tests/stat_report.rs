@@ -128,6 +128,39 @@ fn thread_storm_populates_runq_wait_and_sched_source() {
 }
 
 #[test]
+fn trace_drops_are_reported_to_scrapers() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    use sunos_mt::trace::{self, Tag};
+
+    // Overrun this thread's trace ring (RING_CAP = 4096 events) so the
+    // overwrite counter must move; it is cumulative across epochs.
+    let before = trace::dropped();
+    trace::enable();
+    for i in 0..(3 * 4096u64) {
+        trace::emit(Tag::ChanSend, i, 0);
+    }
+    trace::disable();
+    let snap = stat::snapshot();
+    assert!(
+        snap.trace_dropped >= before + 4096,
+        "ring overrun not counted: before={before} after={}",
+        snap.trace_dropped
+    );
+
+    let prom = stat::prometheus();
+    assert!(
+        prom.contains("# TYPE sunmt_trace_dropped_total counter")
+            && prom.contains("sunmt_trace_dropped_total "),
+        "dropped counter missing from prometheus:\n{prom}"
+    );
+    let json = stat::snapshot_json();
+    assert!(
+        json.contains("\"trace_dropped\":"),
+        "dropped counter missing from json:\n{json}"
+    );
+}
+
+#[test]
 fn enable_opens_a_fresh_epoch_and_disabled_probes_record_nothing() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
 
