@@ -45,6 +45,16 @@ Gated metrics:
   receiver-running latency with the receiver parked. Ceiling-gated
   high above the measured tail: a thundering herd or a wakeup retry
   loop in the channel park path blows through it immediately.
+* `BENCH_io.json` / `scale_thpt_per_lwp` — worst per-LWP echo
+  throughput across the connection-scaling matrix at its highest
+  connection count (`abl_io_scale`, merged into the same file as the
+  base ABL-IO run). Wall-clock on a shared runner, so it gets the wide
+  4x band: a shard that serializes behind a sibling's lock or a ctl
+  batch that stops coalescing drops straight through it.
+* `BENCH_io.json` / `scale_p99_wake_us` — worst p99 single-op wake
+  latency across the matrix. Ceiling-gated far above the measured
+  tail: a waiter that misses its shard's event and limps home on a
+  retry path turns a ~100us wake into tens of milliseconds.
 
 Usage: ci/bench_gate.py [repo-root]
 """
@@ -131,6 +141,19 @@ GATES = [
         ceiling=5000.0,
         tolerance=0.0,
         why="the parked-receiver wake chain grew a pathological tail",
+    ),
+    Gate(
+        "BENCH_io.json",
+        "scale_thpt_per_lwp",
+        tolerance=0.75,
+        why="per-LWP echo throughput collapsed in the connection-scaling matrix",
+    ),
+    Gate(
+        "BENCH_io.json",
+        "scale_p99_wake_us",
+        ceiling=20000.0,
+        tolerance=0.0,
+        why="the sharded poller's wake latency grew a pathological tail",
     ),
 ]
 

@@ -8,6 +8,7 @@
 
 pub mod harness;
 pub mod io_bench;
+pub mod io_scale;
 pub mod rng;
 
 use std::time::Duration;
@@ -115,21 +116,98 @@ impl PaperTable {
         let _ = write!(out, "\"bench\":{},", json_str(bench));
         let _ = write!(out, "\"title\":{},", json_str(&self.title));
         out.push_str("\"rows\":[");
+        out.push_str(&self.rows_json());
+        out.push_str("],\"notes\":[");
+        out.push_str(&self.notes_json());
+        out.push_str("]}");
+        out
+    }
+
+    /// The `rows` array body (comma-joined row objects, no brackets).
+    fn rows_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for (i, (label, t)) in self.rows.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "{{\"label\":{},\"time_us\":{t}}}", json_str(label));
         }
-        out.push_str("],\"notes\":[");
+        out
+    }
+
+    /// The `notes` array body (comma-joined strings, no brackets).
+    fn notes_json(&self) -> String {
+        let mut out = String::new();
         for (i, n) in self.notes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&json_str(n));
         }
-        out.push_str("]}");
         out
+    }
+
+    /// Splices this table's rows and notes into an existing
+    /// [`Self::to_json`] document, preserving everything already there.
+    /// Used by benches that extend a committed trajectory file with an
+    /// extra axis — the connection-scaling rows `abl_io_scale` appends to
+    /// `BENCH_io.json` — without re-running the base experiment.
+    pub fn merge_into_json(&self, doc: &str) -> Result<String, String> {
+        let marker = "],\"notes\":[";
+        let rows_end = doc
+            .rfind(marker)
+            .ok_or_else(|| "document has no rows/notes arrays".to_string())?;
+        let tail = &doc[rows_end + marker.len()..];
+        let notes_end = tail
+            .rfind("]}")
+            .ok_or_else(|| "document has no closing ]}".to_string())?;
+        let mut out = String::with_capacity(doc.len() + 256);
+        out.push_str(&doc[..rows_end]);
+        if !self.rows.is_empty() {
+            if !doc[..rows_end].ends_with('[') {
+                out.push(',');
+            }
+            out.push_str(&self.rows_json());
+        }
+        out.push_str(marker);
+        out.push_str(&tail[..notes_end]);
+        if !self.notes.is_empty() {
+            if !tail[..notes_end].is_empty() {
+                out.push(',');
+            }
+            out.push_str(&self.notes_json());
+        }
+        out.push_str(&tail[notes_end..]);
+        Ok(out)
+    }
+
+    /// Merges this table into the JSON file named by a `--merge-json
+    /// <path>` pair in `args`, rewriting the file in place. Falls back to
+    /// writing a standalone document (under `bench`) when the file does
+    /// not exist yet.
+    pub fn merge_json_if_requested(
+        &self,
+        bench: &str,
+        args: impl IntoIterator<Item = String>,
+    ) -> std::io::Result<()> {
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            if a == "--merge-json" {
+                let path = args
+                    .next()
+                    .ok_or_else(|| std::io::Error::other("--merge-json needs a path"))?;
+                let merged = match std::fs::read_to_string(&path) {
+                    Ok(doc) => self.merge_into_json(&doc).map_err(std::io::Error::other)?,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => self.to_json(bench),
+                    Err(e) => return Err(e),
+                };
+                std::fs::write(&path, merged)?;
+                println!("merged into {path}");
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// Writes [`Self::to_json`] to `path` if a `--json <path>` pair is
@@ -209,6 +287,33 @@ mod tests {
         assert!(j.contains("\"label\":\"a\",\"time_us\":10.5"));
         assert!(j.contains("Figure \\\"X\\\""));
         assert!(j.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn merge_into_json_splices_rows_and_notes() {
+        let mut base = PaperTable::new("base");
+        base.row("a", 1.0).note("k=1");
+        let doc = base.to_json("b");
+
+        let mut extra = PaperTable::new("ignored");
+        extra.row("c", 2.0).note("scale_x=3.5");
+        let merged = extra.merge_into_json(&doc).unwrap();
+        assert!(merged.contains("\"label\":\"a\",\"time_us\":1"));
+        assert!(merged.contains("\"label\":\"c\",\"time_us\":2"));
+        assert!(merged.contains("\"k=1\",\"scale_x=3.5\""), "{merged}");
+        // Still one well-formed document: merging again also works.
+        let twice = extra.merge_into_json(&merged).unwrap();
+        assert_eq!(twice.matches("scale_x=3.5").count(), 2);
+    }
+
+    #[test]
+    fn merge_into_empty_arrays_adds_no_stray_commas() {
+        let empty = PaperTable::new("e").to_json("e");
+        let mut extra = PaperTable::new("x");
+        extra.row("r", 4.5).note("n");
+        let merged = extra.merge_into_json(&empty).unwrap();
+        assert!(merged.contains("\"rows\":[{\"label\":\"r\""), "{merged}");
+        assert!(merged.contains("\"notes\":[\"n\"]"), "{merged}");
     }
 
     #[test]

@@ -199,6 +199,8 @@ mod tests {
             crits: 0,
             runq_shards: 0,
             chan_caps: vec![],
+            io_shards: 0,
+            io_fds: 0,
             final_counters: vec![(0, 2)],
             expect: Expect::FailContaining("counter"),
             min_schedules: 0,

@@ -284,6 +284,49 @@ pub enum SyncOp {
         /// Second channel.
         b: usize,
     },
+    /// Register interest in an fd with a poller shard: atomically insert
+    /// into the fd table *and* append the arm op to the shard's ctl batch
+    /// (one step — the real code holds the fd-table lock across both),
+    /// kick the shard, then park until the shard delivers readiness.
+    /// Mirrors `sunmt_io::poller`'s wait path.
+    IoWait {
+        /// The poller shard whose batch receives the arm op.
+        shard: usize,
+        /// The fd index.
+        fd: usize,
+    },
+    /// The seeded-buggy wait: enqueues the arm op (and kicks the shard)
+    /// *before* inserting itself into the fd table, then parks blind. A
+    /// flush + readiness event landing in that gap delivers into an empty
+    /// table and the readiness is dropped — the lost wakeup the real
+    /// single-lock registration exists to prevent.
+    IoWaitRacy {
+        /// The poller shard whose batch receives the arm op.
+        shard: usize,
+        /// The fd index.
+        fd: usize,
+    },
+    /// One poller-shard service step: pop one pending ctl op off the
+    /// shard's own batch and arm the fd — delivering any already-raised
+    /// readiness, the level-triggered re-report — or park until a
+    /// registration kicks the shard (the eventfd wakeup).
+    IoFlush {
+        /// The shard whose own batch this flusher drains.
+        shard: usize,
+    },
+    /// An idle sibling shard stealing one pending ctl op from a loaded
+    /// victim's batch — the same service machine as [`SyncOp::IoFlush`]
+    /// plus the steal accounting.
+    IoSteal {
+        /// The victim shard.
+        victim: usize,
+    },
+    /// The driver: raise readiness on an fd (one step) and let the poller
+    /// deliver it if armed (the next) — the kernel's epoll_wait report.
+    IoEvent {
+        /// The fd index.
+        fd: usize,
+    },
 }
 
 /// What the explorer expects from a model.
@@ -326,6 +369,12 @@ pub struct Model {
     /// count). The final-state oracle requires every channel to drain;
     /// the double-recv oracle convicts any message received twice.
     pub chan_caps: Vec<usize>,
+    /// Number of poller shards modelled (0 = no poller). Each shard owns
+    /// a pending-ctl batch that a flusher or stealer drains one op at a
+    /// time; the final-state oracle requires every batch to drain.
+    pub io_shards: usize,
+    /// Number of modelled I/O fds (sizes the armed/ready state vectors).
+    pub io_fds: usize,
     /// Expected final counter values, checked after all threads exit.
     pub final_counters: Vec<(usize, u64)>,
     /// What the explorer should find.
@@ -432,6 +481,31 @@ struct ChanSt {
     hooks: VecDeque<(usize, u32)>,
 }
 
+/// The modelled sharded poller: per-shard pending epoll_ctl batches, the
+/// per-fd armed/readiness words, and the fd table of parked waiters. The
+/// oracle is wakeup integrity — readiness must never be consumed while
+/// the thread that registered for it parks forever.
+struct IoSt {
+    /// Per-shard pending ctl ops (fd indices), flushed by the shard's
+    /// own poller LWP or stolen by an idle sibling.
+    batches: Vec<VecDeque<usize>>,
+    /// fd -> the kernel is watching it (the arm op was applied).
+    armed: Vec<bool>,
+    /// fd -> readiness raised and not yet consumed by a delivery.
+    ready: Vec<bool>,
+    /// fd -> a delivery found no registered waiter and dropped the
+    /// readiness on the floor (the lost-wakeup oracle's evidence).
+    dropped: Vec<bool>,
+    /// The fd table: registered I/O waiters as `(thread, fd,
+    /// resume_micro)`.
+    waiters: VecDeque<(usize, usize, u32)>,
+    /// Parked flushers/stealers waiting for batch work: `(thread, shard
+    /// watched, resume_micro)`.
+    svc_waiters: VecDeque<(usize, usize, u32)>,
+    /// Cross-shard batch steals performed.
+    steals: u64,
+}
+
 struct ThreadSt {
     ops: Vec<SyncOp>,
     pc: usize,
@@ -457,6 +531,11 @@ pub enum BlockedOn {
     Runq,
     /// Parked on a channel (as receiver, sender, or select waiter).
     Chan(usize),
+    /// Parked in the poller's fd table waiting for readiness on this fd.
+    Io(usize),
+    /// An idle poller flusher/stealer parked waiting for ctl work on
+    /// this shard's batch.
+    IoSvc(usize),
 }
 
 /// What a micro-step asks the kernel to do next.
@@ -478,6 +557,7 @@ pub struct World {
     crit: Vec<Option<usize>>,
     runq: RunqSt,
     chans: Vec<ChanSt>,
+    io: IoSt,
     threads: Vec<ThreadSt>,
     /// Thread index -> simkernel LWP id (filled at setup).
     lwp_ids: Vec<SimLwpId>,
@@ -542,6 +622,15 @@ impl World {
                     hooks: VecDeque::new(),
                 })
                 .collect(),
+            io: IoSt {
+                batches: vec![VecDeque::new(); model.io_shards],
+                armed: vec![false; model.io_fds],
+                ready: vec![false; model.io_fds],
+                dropped: vec![false; model.io_fds],
+                waiters: VecDeque::new(),
+                svc_waiters: VecDeque::new(),
+                steals: 0,
+            },
             threads: model
                 .threads
                 .iter()
@@ -613,6 +702,20 @@ impl World {
                                 || c.hooks.iter().any(|(w, _)| *w == t)
                         })
                         .map(BlockedOn::Chan)
+                })
+                .or_else(|| {
+                    self.io
+                        .waiters
+                        .iter()
+                        .find(|(w, _, _)| *w == t)
+                        .map(|(_, fd, _)| BlockedOn::Io(*fd))
+                })
+                .or_else(|| {
+                    self.io
+                        .svc_waiters
+                        .iter()
+                        .find(|(w, _, _)| *w == t)
+                        .map(|(_, s, _)| BlockedOn::IoSvc(*s))
                 });
             if let Some(on) = on {
                 out.push((t, on));
@@ -1023,6 +1126,11 @@ impl World {
             SyncOp::ChanRecvRacyPeek { chan } => self.chan_racy_peek_machine(t, chan),
             SyncOp::ChanSelect { a, b } => self.chan_select_machine(t, a, b, false, wakes),
             SyncOp::ChanSelectRacy { a, b } => self.chan_select_machine(t, a, b, true, wakes),
+            SyncOp::IoWait { shard, fd } => self.io_wait_machine(t, shard, fd, false, wakes),
+            SyncOp::IoWaitRacy { shard, fd } => self.io_wait_machine(t, shard, fd, true, wakes),
+            SyncOp::IoFlush { shard } => self.io_service_machine(t, shard, false, wakes),
+            SyncOp::IoSteal { victim } => self.io_service_machine(t, victim, true, wakes),
+            SyncOp::IoEvent { fd } => self.io_event_machine(t, fd, wakes),
         }
     }
 
@@ -1756,6 +1864,170 @@ impl World {
             NextStep::Yield
         }
     }
+
+    // -----------------------------------------------------------------
+    // The sharded-poller machines. The modelled protocol matches
+    // `sunmt-io`'s poller: a waiter inserts itself into the fd table and
+    // appends the arm op to the shard's ctl batch under one lock (a
+    // single atomic micro-step here), kicks the shard's eventfd, and
+    // parks on its wait word; the shard LWP (or an idle sibling stealing
+    // the batch) pops ctl ops, arms the fd, and delivers readiness to
+    // every registered waiter. A delivery that finds no registered
+    // waiter consumes the readiness with nobody to give it to — the
+    // lost wakeup the single-lock registration prevents and the oracle
+    // convicts.
+
+    /// Kicks shard `shard`'s parked flushers/stealers (the eventfd
+    /// write a batch's empty→non-empty edge performs).
+    fn io_kick(&mut self, shard: usize, wakes: &mut Vec<usize>) {
+        let mut kicked = Vec::new();
+        self.io.svc_waiters.retain(|&(w, s, resume)| {
+            if s == shard {
+                kicked.push((w, resume));
+                false
+            } else {
+                true
+            }
+        });
+        for (w, resume) in kicked {
+            self.wake(w, resume, wakes);
+        }
+    }
+
+    /// Delivers raised readiness on `fd` to its registered waiters, if
+    /// it is armed. Consumes the readiness either way; a delivery into
+    /// an empty fd table is the dropped wakeup the oracle looks for.
+    fn io_deliver(&mut self, t: usize, fd: usize, wakes: &mut Vec<usize>) {
+        if !(self.io.armed[fd] && self.io.ready[fd]) {
+            return;
+        }
+        let mut taken = Vec::new();
+        self.io.waiters.retain(|&(w, f, resume)| {
+            if f == fd {
+                taken.push((w, resume));
+                false
+            } else {
+                true
+            }
+        });
+        // The readiness is consumed and the waiter list emptied, so the
+        // real shard's rearm-or-remove disarms the fd (enqueues a DEL).
+        self.io.ready[fd] = false;
+        self.io.armed[fd] = false;
+        if taken.is_empty() {
+            self.io.dropped[fd] = true;
+        }
+        for (w, resume) in taken {
+            self.push_event(t, Tag::IoUnpark, fd as u64, w as u64);
+            self.wake(w, resume, wakes);
+        }
+    }
+
+    /// `IoWait` (`racy = false`): micro 0 atomically joins the fd table,
+    /// enqueues the arm op, and kicks the shard (the real code does all
+    /// three under the fd-table lock); micro 1 parks; micro 9 is the
+    /// post-delivery resume. The park needs no re-check: a delivery
+    /// landing between registration and park redirects `micro` to 9
+    /// before the park micro runs — the wait-word check
+    /// `strategy::park` performs.
+    ///
+    /// `IoWaitRacy`: micro 0 enqueues and kicks *without* joining the
+    /// table, micro 1 joins late, micro 2 parks blind — a flush + event
+    /// in the 0→1 gap delivers into an empty table and this thread
+    /// sleeps forever on readiness that already fired.
+    fn io_wait_machine(
+        &mut self,
+        t: usize,
+        shard: usize,
+        fd: usize,
+        racy: bool,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        match self.threads[t].micro {
+            0 => {
+                if !racy {
+                    self.io.waiters.push_back((t, fd, 9));
+                }
+                self.io.batches[shard].push_back(fd);
+                self.push_event(t, Tag::IoRegister, fd as u64, shard as u64);
+                self.io_kick(shard, wakes);
+                self.threads[t].micro = if racy { 1 } else { 2 };
+                NextStep::Yield
+            }
+            1 => {
+                // Racy only: the late table insert.
+                self.io.waiters.push_back((t, fd, 9));
+                self.threads[t].micro = 2;
+                NextStep::Yield
+            }
+            2 => {
+                self.push_event(t, Tag::IoPark, fd as u64, 0);
+                self.park(t, None)
+            }
+            _ => {
+                self.advance(t);
+                NextStep::Yield
+            }
+        }
+    }
+
+    /// One poller-shard service step (`IoFlush` on the own batch,
+    /// `IoSteal` on a victim's): micro 0 atomically pops one pending ctl
+    /// op and arms the fd — or, when the batch is empty, registers as a
+    /// shard waiter and parks (pop-or-park under "the batch lock";
+    /// the enqueue side's atomic append+kick closes the gap). Micro 1
+    /// delivers any readiness the arm uncovered — the level-triggered
+    /// re-report of an fd that was ready before it was armed.
+    fn io_service_machine(
+        &mut self,
+        t: usize,
+        shard: usize,
+        steal: bool,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
+        if self.threads[t].micro == 0 {
+            match self.io.batches[shard].pop_front() {
+                Some(fd) => {
+                    self.io.armed[fd] = true;
+                    if steal {
+                        self.io.steals += 1;
+                        self.push_event(t, Tag::IoShardSteal, shard as u64, 1);
+                    } else {
+                        self.push_event(t, Tag::IoBatchFlush, shard as u64, 1);
+                    }
+                    self.threads[t].scratch = fd as u64;
+                    self.threads[t].micro = 1;
+                    NextStep::Yield
+                }
+                None => {
+                    self.io.svc_waiters.push_back((t, shard, 0));
+                    self.push_event(t, Tag::LwpPark, t as u64, 0);
+                    self.park(t, None)
+                }
+            }
+        } else {
+            let fd = self.threads[t].scratch as usize;
+            self.io_deliver(t, fd, wakes);
+            self.advance(t);
+            NextStep::Yield
+        }
+    }
+
+    /// `IoEvent`: the driver playing the kernel. Micro 0 raises
+    /// readiness on the fd; micro 1 delivers it if the fd is armed (the
+    /// epoll_wait report). An event on an unarmed fd leaves the
+    /// readiness pending for the arm to re-report — level-triggered.
+    fn io_event_machine(&mut self, t: usize, fd: usize, wakes: &mut Vec<usize>) -> NextStep {
+        if self.threads[t].micro == 0 {
+            self.io.ready[fd] = true;
+            self.push_event(t, Tag::IoReady, fd as u64, 1);
+            self.threads[t].micro = 1;
+        } else {
+            self.io_deliver(t, fd, wakes);
+            self.advance(t);
+        }
+        NextStep::Yield
+    }
 }
 
 /// Result of one complete schedule run.
@@ -1941,6 +2213,23 @@ fn classify(model: &Model, world: &World) -> Option<String> {
                 }
             }
         }
+        // A thread parked in the poller's fd table whose fd is neither
+        // armed nor pending in any ctl batch, after its readiness fired
+        // (or was consumed by a delivery into an empty table), can never
+        // be woken: the wakeup it registered for was dropped while it
+        // was not yet registered.
+        for (t, on) in &blocked {
+            if let BlockedOn::Io(fd) = on {
+                let io = &world.io;
+                let pending = io.batches.iter().any(|b| b.contains(fd));
+                if !io.armed[*fd] && !pending && (io.ready[*fd] || io.dropped[*fd]) {
+                    return Some(format!(
+                        "lost wakeup: thread {t} parked on io fd {fd} whose readiness was \
+                         dropped before it registered"
+                    ));
+                }
+            }
+        }
         let desc: Vec<String> = blocked
             .iter()
             .map(|(t, on)| format!("thread {t} on {on:?}"))
@@ -1983,6 +2272,14 @@ fn classify(model: &Model, world: &World) -> Option<String> {
             ));
         }
     }
+    // Poller ctl integrity: once every flusher finished, nothing may be
+    // left sitting unapplied in a shard's batch.
+    let batched: usize = world.io.batches.iter().map(VecDeque::len).sum();
+    if batched > 0 {
+        return Some(format!(
+            "io lost ctl: {batched} op(s) still batched after all threads finished"
+        ));
+    }
     None
 }
 
@@ -2007,6 +2304,8 @@ mod tests {
             crits: 0,
             runq_shards: 0,
             chan_caps: vec![],
+            io_shards: 0,
+            io_fds: 0,
             final_counters: vec![(0, 2)],
             expect: Expect::Pass,
             min_schedules: 0,

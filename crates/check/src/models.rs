@@ -26,6 +26,8 @@ fn base(name: &'static str, about: &'static str, threads: Vec<Vec<SyncOp>>) -> M
         crits: 0,
         runq_shards: 0,
         chan_caps: vec![],
+        io_shards: 0,
+        io_fds: 0,
         final_counters: vec![],
         expect: Expect::Pass,
         min_schedules: 0,
@@ -462,6 +464,26 @@ pub fn catalogue() -> Vec<Model> {
                 ],
             )
         },
+        // ------------------------------------------- sharded I/O poller
+        Model {
+            io_shards: 2,
+            io_fds: 2,
+            preemption_bound: Some(2),
+            min_schedules: 200,
+            variants: vec![Variant::Default],
+            ..base(
+                "io_shard",
+                "two waiters register on separate poller shards; an owner flush and a \
+                 sibling steal arm them, kernel events deliver both wakeups",
+                vec![
+                    vec![IoWait { shard: 0, fd: 0 }],
+                    vec![IoWait { shard: 1, fd: 1 }],
+                    vec![IoFlush { shard: 0 }],
+                    vec![IoSteal { victim: 1 }],
+                    vec![IoEvent { fd: 0 }, IoEvent { fd: 1 }],
+                ],
+            )
+        },
         // ----------------------------------------------------- channels
         Model {
             chan_caps: vec![2],
@@ -648,6 +670,22 @@ pub fn catalogue() -> Vec<Model> {
             )
         },
         Model {
+            io_shards: 1,
+            io_fds: 1,
+            variants: vec![Variant::Default],
+            expect: Expect::FailContaining("lost wakeup"),
+            ..base(
+                "neg_io_lost_wakeup",
+                "waiter enqueues its arm op before joining the fd table; the readiness \
+                 event lands in the gap and is dropped",
+                vec![
+                    vec![IoWaitRacy { shard: 0, fd: 0 }],
+                    vec![IoFlush { shard: 0 }],
+                    vec![IoEvent { fd: 0 }],
+                ],
+            )
+        },
+        Model {
             mutexes: 1,
             expect: Expect::FailContaining("recursive"),
             variants: vec![Variant::Debug],
@@ -758,6 +796,19 @@ mod tests {
                                 "{}: select chans {a},{b}",
                                 m.name
                             )
+                        }
+                        SyncOp::IoWait { shard, fd } | SyncOp::IoWaitRacy { shard, fd } => {
+                            assert!(
+                                shard < m.io_shards && fd < m.io_fds,
+                                "{}: io shard {shard} fd {fd}",
+                                m.name
+                            )
+                        }
+                        SyncOp::IoFlush { shard: i } | SyncOp::IoSteal { victim: i } => {
+                            assert!(i < m.io_shards, "{}: io shard {i}", m.name)
+                        }
+                        SyncOp::IoEvent { fd } => {
+                            assert!(fd < m.io_fds, "{}: io fd {fd}", m.name)
                         }
                         SyncOp::Work(_) | SyncOp::AssertTimedOut(_) | SyncOp::SleepFor(_) => {}
                     }

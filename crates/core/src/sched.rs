@@ -372,6 +372,11 @@ pub(crate) fn on_pool_lwp() -> bool {
     IS_POOL.with(|c| c.get())
 }
 
+/// The calling pool LWP's home run-queue shard, if it has one.
+pub(crate) fn my_shard() -> Option<usize> {
+    MY_SHARD.with(|c| c.get())
+}
+
 fn sched_loop() {
     let me = sunmt_lwp::current();
     IS_POOL.with(|c| c.set(true));

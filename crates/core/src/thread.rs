@@ -440,3 +440,14 @@ pub fn current_is_unbound() -> bool {
 pub fn current_has_thread() -> bool {
     sched::maybe_current().is_some()
 }
+
+/// The home run-queue shard of the pool LWP the caller is executing on, or
+/// `None` off the pool (bound threads, bare host threads, the timer LWP).
+///
+/// Subsystems that shard per pool LWP — the sharded I/O poller — use this
+/// to pick the *local* shard, mirroring the run queue's owner-side
+/// push/pop discipline: an unbound thread arms its fd on the shard of the
+/// LWP it is running on, and strangers fall back to round-robin.
+pub fn current_shard() -> Option<usize> {
+    sched::my_shard()
+}

@@ -7,9 +7,12 @@
 //! strategy split the synchronization variables already use:
 //!
 //! * An **unbound thread** calling [`read`] on a nonblocking fd that would
-//!   block registers interest with the poller LWP (`crates/io/src/poller.rs`)
-//!   and parks on the user-level sleep queue — its LWP immediately runs
-//!   other threads, and no `SIGWAITING` pool growth is needed.
+//!   block registers interest with its pool LWP's *poller shard*
+//!   (`crates/io/src/poller.rs` — one epoll set per pool LWP, batched
+//!   `epoll_ctl` at park boundaries, idle shards stealing loaded
+//!   siblings' batches) and parks on the user-level sleep queue — its LWP
+//!   immediately runs other threads, and no `SIGWAITING` pool growth is
+//!   needed.
 //! * A **bound thread**, an adopted host thread, or a caller that has never
 //!   touched the threads library falls through to a plain blocking wait
 //!   (`poll(2)` + retry), blocking only its own LWP — "much like locking
@@ -93,9 +96,17 @@ pub fn connect_loopback(port: u16) -> Result<i32, Errno> {
     }
 }
 
-/// Closes a descriptor (plain `close(2)`; waiters, if any, are woken with
-/// an error by the kernel's hangup reporting).
+/// Closes a descriptor.
+///
+/// Poller-aware: any thread parked on `io_fd` is woken with `EBADF`
+/// *before* the `close(2)` runs. The order matters — the kernel silently
+/// drops a closed fd from its epoll sets, so a close racing a parked
+/// waiter on the sharded poller would otherwise strand that waiter
+/// forever (no readiness event will ever arrive for it).
 pub fn close(io_fd: i32) -> Result<(), Errno> {
+    if let Some(p) = poller::maybe_global() {
+        p.cancel_fd(io_fd);
+    }
     fd::close(io_fd)
 }
 
@@ -205,40 +216,69 @@ fn wait_blocking(io_fd: i32, dir: Dir, deadline: Option<Duration>) -> Result<(),
     }
 }
 
-/// A snapshot of the poller's counters (all zero before first I/O wait).
+/// A snapshot of the sharded poller's counters, summed over all shards
+/// (all zero before the first I/O wait).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IoStats {
+    /// Poller shards serving this process (0 before first use).
+    pub shards: usize,
     /// Interest registrations (one per `EAGAIN` wait by an unbound thread).
     pub registrations: u64,
-    /// Readiness events the poller received from `epoll_wait`.
+    /// Readiness events the shard pollers received from `epoll_wait`.
     pub readies: u64,
     /// User-level parks performed by I/O waiters.
     pub parks: u64,
-    /// Waiters the poller unparked.
+    /// Waiters the shard pollers unparked.
     pub unparks: u64,
     /// Timed I/O waits that expired.
     pub timeouts: u64,
-    /// Times the poller LWP entered `epoll_wait`.
+    /// Times a shard LWP entered `epoll_wait`.
     pub epoll_waits: u64,
+    /// Coalesced `epoll_ctl` batches applied at park boundaries.
+    pub batch_flushes: u64,
+    /// Control operations carried by those batches.
+    pub batched_ops: u64,
+    /// Kernel entries spent applying them (`epoll_ctl` calls, or
+    /// `io_uring_enter` calls on the batched backend — the number the
+    /// scaling bench divides by ops to report syscalls per op).
+    pub ctl_syscalls: u64,
+    /// Batches flushed by an idle sibling instead of the owning shard.
+    pub steals: u64,
     /// Threads currently waiting on I/O readiness.
     pub pending_waiters: usize,
 }
 
 /// Reads [`IoStats`] without starting the poller.
 pub fn stats() -> IoStats {
-    use core::sync::atomic::Ordering;
     match poller::maybe_global() {
         None => IoStats::default(),
-        Some(p) => IoStats {
-            registrations: p.registrations.load(Ordering::Relaxed),
-            readies: p.readies.load(Ordering::Relaxed),
-            parks: p.parks.load(Ordering::Relaxed),
-            unparks: p.unparks.load(Ordering::Relaxed),
-            timeouts: p.timeouts.load(Ordering::Relaxed),
-            epoll_waits: p.epoll_waits.load(Ordering::Relaxed),
-            pending_waiters: p.pending.load(Ordering::Relaxed),
-        },
+        Some(p) => {
+            let t = p.totals();
+            IoStats {
+                shards: p.num_shards(),
+                registrations: t.registrations,
+                readies: t.readies,
+                parks: t.parks,
+                unparks: t.unparks,
+                timeouts: t.timeouts,
+                epoll_waits: t.epoll_waits,
+                batch_flushes: t.batch_flushes,
+                batched_ops: t.batched_ops,
+                ctl_syscalls: t.ctl_syscalls,
+                steals: t.steals,
+                pending_waiters: t.pending_waiters,
+            }
+        }
     }
+}
+
+/// The control-plane backend the poller selected: `"epoll"` (one
+/// `epoll_ctl` per operation) or `"uring"` (one `io_uring_enter` per
+/// batch). Starts the poller on first call. Selection honours
+/// `SUNMT_IO_BACKEND=epoll|uring`; the default probes io_uring and falls
+/// back to epoll where it is masked.
+pub fn backend_name() -> &'static str {
+    poller::global().backend_name()
 }
 
 #[cfg(test)]
@@ -323,6 +363,27 @@ mod tests {
         close(w).unwrap();
         sunmt::wait(Some(id)).unwrap();
         close(r).unwrap();
+    }
+
+    #[test]
+    fn close_while_parked_errors_the_waiter_out() {
+        sunmt::init();
+        let (r, w) = pipe().unwrap();
+        let id = sunmt::ThreadBuilder::new()
+            .flags(sunmt::CreateFlags::WAIT)
+            .spawn(move || {
+                let mut buf = [0u8; 4];
+                // The read end is closed under us while we are parked on
+                // the sharded poller; we must see EBADF, not hang (the
+                // kernel silently drops closed fds from epoll sets).
+                assert_eq!(read(r, &mut buf), Err(Errno::EBADF));
+            })
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(stats().pending_waiters >= 1, "reader should be parked");
+        close(r).unwrap();
+        sunmt::wait(Some(id)).unwrap();
+        close(w).unwrap();
     }
 
     #[test]

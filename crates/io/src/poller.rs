@@ -1,21 +1,54 @@
-//! The I/O demultiplexer: one poller LWP, many parked threads.
+//! The I/O demultiplexer: per-pool-LWP poller shards, many parked threads.
 //!
 //! The window-server scenario in the paper needs "one thread per client"
-//! without one *LWP* per client. This module supplies the mechanism: every
-//! fd an unbound thread waits on is registered (level-triggered) with a
-//! single `epoll` instance owned by one dedicated poller LWP. The waiting
-//! thread parks on a private ready-word through the installed blocking
-//! strategy — i.e. onto the threads library's user-level sleep queue — so
-//! its LWP immediately dispatches other threads. When the kernel reports
-//! the fd ready, the poller LWP flips the ready-word and unparks the
-//! thread; it retries its nonblocking system call on whatever pool LWP
-//! picks it up.
+//! without one *LWP* per client. The first cut of this module met that with
+//! a single `epoll`-owning poller LWP — and inherited its serial
+//! bottleneck: every register, every readiness event, and every wakeup in
+//! the process funneled through one descriptor table, one `epoll_ctl`
+//! stream, and one LWP's attention. This version shards the poller the
+//! same way `ShardedRunQueue` shards the dispatcher:
 //!
-//! Lock order: the fd table lock is a leaf — it is never held across a
-//! park, an unpark, or `epoll_wait`, only across `epoll_ctl` and table
-//! surgery.
+//! * **One shard per pool LWP** (capped, `SUNMT_IO_SHARDS` overrides): a
+//!   shard owns an epoll set, a wakeup eventfd, a descriptor table, and a
+//!   pending batch of `epoll_ctl` operations. An unbound thread arms its
+//!   fd on the shard of the LWP it is running on
+//!   ([`sunmt::current_shard`]), so register/ready/unpark traffic stays
+//!   LWP-local exactly like owner-side run-queue push/pop; callers off the
+//!   pool fall back to round-robin, the run queue's injection discipline.
+//! * **Batched control traffic**: `wait` does not call `epoll_ctl`. It
+//!   appends the operation to the shard's pending batch (under the fd
+//!   table lock, so two racing waiters' ADD/MOD ops cannot reorder against
+//!   the table's armed-mask bookkeeping) and kicks the shard's eventfd
+//!   only on the empty→non-empty transition. The shard's poller LWP
+//!   flushes the whole batch at its park boundary — after processing
+//!   events, before re-entering `epoll_wait` — so a burst of N arms costs
+//!   one flush, not N system calls. With the io_uring backend the flush
+//!   itself is **one** kernel entry (`IORING_OP_EPOLL_CTL`); with the
+//!   epoll backend it is a tight `epoll_ctl` loop. Level-triggered
+//!   registration makes the deferral safe: readiness that exists at flush
+//!   time is reported by the very next `epoll_wait`.
+//! * **Steal/inject discipline**: an idle shard poller that finds its own
+//!   batch empty scans its siblings and flushes a loaded victim's batch
+//!   against the *victim's* epoll set ([`Tag::IoShardSteal`]). `epoll_ctl`
+//!   is legal from any LWP, and the victim's backend mutex serializes
+//!   batch take + apply, so stolen flushes keep the per-shard FIFO order
+//!   (a close-enqueued `DEL` can never leapfrog the `ADD` of a reused fd
+//!   number).
+//!
+//! Deferred arming moves failure reporting off the caller: a bad
+//! descriptor is discovered at flush time, so each waiter carries an error
+//! word beside its ready word and the flusher wakes it with the real errno
+//! (`EBADF`, `EPERM`, ...) instead of letting it hang. [`cancel_fd`] uses
+//! the same path to resolve the close-while-parked race: `sunmt_io::close`
+//! errors out every parked waiter on the fd *before* `close(2)` runs.
+//!
+//! Lock order: a shard's fd table lock is taken before its batch lock
+//! (waiter enqueue path); a flusher takes the shard's backend lock, then
+//! the batch lock (swap only), then — for error delivery — the fd table
+//! lock. The table and batch locks are leaves with respect to park,
+//! unpark, and `epoll_wait`; no lock is held across any of those.
 
-use core::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use core::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use core::time::Duration;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, Once, OnceLock};
@@ -24,6 +57,7 @@ use sunmt_lwp::{registry, Lwp};
 use sunmt_sync::strategy;
 use sunmt_sys::fd::{self, EpollEvent};
 use sunmt_sys::time::monotonic_now;
+use sunmt_sys::uring::{EpollCtl, Uring};
 use sunmt_sys::Errno;
 use sunmt_trace::{probe, Tag};
 
@@ -40,19 +74,36 @@ pub(crate) enum Dir {
 const WAITING: u32 = 0;
 const READY: u32 = 1;
 
-/// `epoll_event.data` key reserved for the internal wakeup eventfd.
+/// `epoll_event.data` key reserved for a shard's wakeup eventfd.
 const WAKE_KEY: u64 = u64::MAX;
 
+/// Hard cap on poller shards (each costs an epoll fd, an eventfd, and an
+/// LWP).
+const MAX_SHARDS: usize = 64;
+
 /// One parked (or about-to-park) thread's ready flag. The waiter parks on
-/// `word` while it holds [`WAITING`]; the poller stores [`READY`] and
-/// unparks. Shared `Arc` ownership keeps the word alive for whichever side
+/// `word` while it holds [`WAITING`]; a waker stores the raw errno into
+/// `err` (0 = genuine readiness), flips `word` to [`READY`], and unparks.
+/// Shared `Arc` ownership keeps the words alive for whichever side
 /// finishes last.
 struct Waiter {
     word: AtomicU32,
+    err: AtomicI32,
 }
 
-/// Waiters interested in one fd, plus the event mask currently armed in
-/// the kernel for it (0 = not registered).
+impl Waiter {
+    fn new() -> Arc<Waiter> {
+        Arc::new(Waiter {
+            word: AtomicU32::new(WAITING),
+            err: AtomicI32::new(0),
+        })
+    }
+}
+
+/// Waiters interested in one fd, plus the event mask the shard intends to
+/// have armed in the kernel for it (0 = not registered). With batching the
+/// mask is *intent*: the matching `epoll_ctl` may still sit in the pending
+/// batch, which is harmless because batch order matches intent order.
 #[derive(Default)]
 struct FdEntry {
     read: Vec<Arc<Waiter>>,
@@ -71,32 +122,59 @@ impl FdEntry {
         }
         mask
     }
+
+    fn take_waiters(&mut self) -> Vec<Arc<Waiter>> {
+        let mut all = std::mem::take(&mut self.read);
+        all.append(&mut self.write);
+        all
+    }
 }
 
-/// The process-wide demultiplexer (see module docs).
-pub(crate) struct Poller {
+/// How a shard applies its coalesced `epoll_ctl` batch.
+enum Backend {
+    /// One `epoll_ctl(2)` per operation (always available).
+    Epoll,
+    /// One `io_uring_enter(2)` per batch (`IORING_OP_EPOLL_CTL`).
+    Uring(Uring),
+}
+
+/// Per-shard monotonic counters, exported through the `"io"` stat source.
+#[derive(Default)]
+struct ShardCounters {
+    registrations: AtomicU64,
+    readies: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    timeouts: AtomicU64,
+    epoll_waits: AtomicU64,
+    batch_flushes: AtomicU64,
+    batched_ops: AtomicU64,
+    ctl_syscalls: AtomicU64,
+    steals: AtomicU64,
+    pending: AtomicUsize,
+}
+
+/// One poller shard: an epoll set, its wakeup eventfd, the fds parked on
+/// it, and the pending control-plane batch.
+struct Shard {
+    index: usize,
     epfd: i32,
-    /// Internal wakeup channel: writing 8 bytes to it kicks the poller LWP
-    /// out of `epoll_wait` (reserved for shutdown-style control messages;
-    /// interest changes need no kick — `epoll_ctl` takes effect while the
-    /// poller sleeps).
+    /// Kicks this shard's LWP out of `epoll_wait` when the pending batch
+    /// goes empty→non-empty (interest changes are *deferred*, so unlike
+    /// the single-poller design the sleeping LWP must be told).
     evfd: i32,
     fds: Mutex<HashMap<i32, FdEntry>>,
-    pub(crate) registrations: AtomicU64,
-    pub(crate) readies: AtomicU64,
-    pub(crate) parks: AtomicU64,
-    pub(crate) unparks: AtomicU64,
-    pub(crate) timeouts: AtomicU64,
-    pub(crate) epoll_waits: AtomicU64,
-    pub(crate) pending: AtomicUsize,
+    /// Coalesced `epoll_ctl` operations awaiting a flush. Appended under
+    /// the `fds` lock; drained by [`Shard::flush`].
+    batch: Mutex<Vec<EpollCtl>>,
+    /// Serializes batch take + apply so owner flushes and stolen flushes
+    /// hit the kernel in enqueue order (FIFO across flushers).
+    backend: Mutex<Backend>,
+    n: ShardCounters,
 }
 
-static POLLER: OnceLock<Poller> = OnceLock::new();
-static START: Once = Once::new();
-
-/// The poller singleton, spawning its LWP on first use.
-pub(crate) fn global() -> &'static Poller {
-    let p = POLLER.get_or_init(|| {
+impl Shard {
+    fn new(index: usize, backend: Backend) -> Shard {
         let epfd = fd::epoll_create1(fd::EPOLL_CLOEXEC).expect("epoll_create1 failed");
         let evfd = fd::eventfd2(0, fd::EFD_NONBLOCK | fd::EFD_CLOEXEC).expect("eventfd2 failed");
         let ev = EpollEvent {
@@ -105,26 +183,266 @@ pub(crate) fn global() -> &'static Poller {
         };
         fd::epoll_ctl(epfd, fd::EPOLL_CTL_ADD, evfd, Some(&ev))
             .expect("failed to register the wakeup eventfd");
-        Poller {
+        Shard {
+            index,
             epfd,
             evfd,
             fds: Mutex::new(HashMap::new()),
-            registrations: AtomicU64::new(0),
-            readies: AtomicU64::new(0),
-            parks: AtomicU64::new(0),
-            unparks: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            epoll_waits: AtomicU64::new(0),
-            pending: AtomicUsize::new(0),
+            batch: Mutex::new(Vec::new()),
+            backend: Mutex::new(backend),
+            n: ShardCounters::default(),
+        }
+    }
+
+    /// Appends one control operation to the pending batch and kicks the
+    /// shard LWP on the empty→non-empty transition. Call with the fd
+    /// table locked — that is what keeps two racing waiters' operations
+    /// in the same order as their `armed`-mask updates.
+    fn enqueue_ctl_locked(&self, op: EpollCtl) {
+        let was_empty = {
+            let mut batch = self.batch.lock().expect("ctl batch poisoned");
+            let was_empty = batch.is_empty();
+            batch.push(op);
+            was_empty
+        };
+        if was_empty {
+            // EAGAIN (counter at max) still leaves the eventfd readable.
+            let _ = fd::write(self.evfd, &1u64.to_ne_bytes());
+        }
+    }
+
+    /// Records the intent `want` for `io_fd` and enqueues the control
+    /// operation realizing it. Call with the fd table locked.
+    fn arm_locked(&self, io_fd: i32, entry: &mut FdEntry, want: u32) {
+        if want == entry.armed {
+            return;
+        }
+        let op = if entry.armed == 0 {
+            fd::EPOLL_CTL_ADD
+        } else if want == 0 {
+            fd::EPOLL_CTL_DEL
+        } else {
+            fd::EPOLL_CTL_MOD
+        };
+        self.enqueue_ctl_locked(EpollCtl {
+            op,
+            fd: io_fd,
+            events: want,
+        });
+        entry.armed = want;
+    }
+
+    /// Re-arms `io_fd` for the waiters that remain, or drops it from the
+    /// table (enqueueing the kernel-side `DEL`) when none do. Call with
+    /// the table locked.
+    fn rearm_or_remove_locked(&self, io_fd: i32, fds: &mut HashMap<i32, FdEntry>) {
+        let Some(entry) = fds.get_mut(&io_fd) else {
+            return;
+        };
+        let want = entry.wanted_mask();
+        self.arm_locked(io_fd, entry, want);
+        if want == 0 {
+            fds.remove(&io_fd);
+        }
+    }
+
+    /// Takes and applies the pending batch; returns how many operations
+    /// were applied. `thief` distinguishes a sibling's steal-flush from
+    /// the owner's park-boundary flush (for the trace stream and the
+    /// steal gauge).
+    fn flush(&self, thief: Option<usize>) -> usize {
+        let mut backend = self.backend.lock().expect("backend poisoned");
+        let ops = std::mem::take(&mut *self.batch.lock().expect("ctl batch poisoned"));
+        if ops.is_empty() {
+            return 0;
+        }
+        let results = self.apply(&mut backend, &ops);
+        drop(backend);
+        self.n.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        self.n
+            .batched_ops
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        match thief {
+            None => probe!(Tag::IoBatchFlush, self.index as u64, ops.len() as u64),
+            Some(_) => {
+                self.n.steals.fetch_add(1, Ordering::Relaxed);
+                probe!(Tag::IoShardSteal, self.index as u64, ops.len() as u64);
+            }
+        }
+        // Deliver deferred arm failures: the waiters of a failed ADD/MOD
+        // would otherwise park forever on a descriptor the kernel refused
+        // to watch.
+        let mut errored: Vec<(Arc<Waiter>, i32)> = Vec::new();
+        for (op, res) in ops.iter().zip(&results) {
+            if *res == 0 || op.op == fd::EPOLL_CTL_DEL {
+                continue;
+            }
+            let mut fds = self.fds.lock().expect("fd table poisoned");
+            if let Some(mut entry) = fds.remove(&op.fd) {
+                for w in entry.take_waiters() {
+                    errored.push((w, *res));
+                }
+            }
+        }
+        for (w, raw) in errored {
+            w.err.store(-raw, Ordering::SeqCst);
+            w.word.store(READY, Ordering::SeqCst);
+            self.n.unparks.fetch_add(1, Ordering::Relaxed);
+            strategy::unpark(&w.word, u32::MAX, false);
+        }
+        results.len()
+    }
+
+    /// Applies `ops` against this shard's epoll set through its backend.
+    /// Returns one result per op: 0 or a negated errno, after the
+    /// EEXIST→MOD / ENOENT→ADD memo-loss fallbacks (a dup'd or recycled
+    /// descriptor can make the kernel's view diverge from the table's).
+    fn apply(&self, backend: &mut Backend, ops: &[EpollCtl]) -> Vec<i32> {
+        let mut results = match backend {
+            Backend::Epoll => {
+                self.n
+                    .ctl_syscalls
+                    .fetch_add(ops.len() as u64, Ordering::Relaxed);
+                ops.iter().map(|op| self.apply_one(*op)).collect()
+            }
+            Backend::Uring(ring) => {
+                self.n.ctl_syscalls.fetch_add(
+                    ops.len().div_ceil(ring.capacity()) as u64,
+                    Ordering::Relaxed,
+                );
+                match ring.submit_epoll_ctl(self.epfd, ops) {
+                    Ok(results) => results,
+                    // A wholesale submission failure (can't happen short of
+                    // ring teardown): degrade to the direct path.
+                    Err(_) => ops.iter().map(|op| self.apply_one(*op)).collect(),
+                }
+            }
+        };
+        for (op, res) in ops.iter().zip(results.iter_mut()) {
+            if *res == 0 {
+                continue;
+            }
+            let e = Errno::from_raw(-*res);
+            let retried = match (op.op, e) {
+                (fd::EPOLL_CTL_ADD, Errno::EEXIST) => Some(EpollCtl {
+                    op: fd::EPOLL_CTL_MOD,
+                    ..*op
+                }),
+                (fd::EPOLL_CTL_MOD, Errno::ENOENT) => Some(EpollCtl {
+                    op: fd::EPOLL_CTL_ADD,
+                    ..*op
+                }),
+                // The fd was closed (the kernel auto-removed it) or never
+                // armed; either way "not watched" is what DEL wanted.
+                (fd::EPOLL_CTL_DEL, Errno::ENOENT | Errno::EBADF) => {
+                    *res = 0;
+                    None
+                }
+                _ => None,
+            };
+            if let Some(r) = retried {
+                self.n.ctl_syscalls.fetch_add(1, Ordering::Relaxed);
+                *res = self.apply_one(r);
+            }
+        }
+        results
+    }
+
+    /// One direct `epoll_ctl(2)`, result in CQE convention (0 / -errno).
+    fn apply_one(&self, op: EpollCtl) -> i32 {
+        let ev = EpollEvent {
+            events: op.events,
+            data: op.fd as u64,
+        };
+        let arg = if op.op == fd::EPOLL_CTL_DEL {
+            None
+        } else {
+            Some(&ev)
+        };
+        match fd::epoll_ctl(self.epfd, op.op, op.fd, arg) {
+            Ok(()) => 0,
+            Err(e) => -e.raw(),
+        }
+    }
+}
+
+/// The process-wide demultiplexer: all shards plus the round-robin cursor
+/// for callers with no home shard.
+pub(crate) struct Poller {
+    shards: Box<[Shard]>,
+    rr: AtomicUsize,
+    /// `"epoll"` or `"uring"`, for diagnostics.
+    backend_name: &'static str,
+}
+
+static POLLER: OnceLock<Poller> = OnceLock::new();
+static START: Once = Once::new();
+
+fn want_uring() -> Option<bool> {
+    match std::env::var("SUNMT_IO_BACKEND").as_deref() {
+        Ok("uring") => Some(true),
+        Ok("epoll") => Some(false),
+        _ => None, // auto: probe
+    }
+}
+
+fn shard_count() -> usize {
+    if let Ok(v) = std::env::var("SUNMT_IO_SHARDS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.clamp(1, MAX_SHARDS);
+        }
+    }
+    sunmt::concurrency().clamp(1, MAX_SHARDS)
+}
+
+fn make_backend(force: Option<bool>) -> (Backend, &'static str) {
+    if force == Some(false) {
+        return (Backend::Epoll, "epoll");
+    }
+    match Uring::new(64) {
+        Ok(mut ring) => {
+            if ring.self_test() {
+                (Backend::Uring(ring), "uring")
+            } else {
+                (Backend::Epoll, "epoll")
+            }
+        }
+        // Forced uring on a kernel without it still has to work: CI runs
+        // the uring-forced job on runners that may mask io_uring.
+        Err(_) => (Backend::Epoll, "epoll"),
+    }
+}
+
+/// The poller singleton, spawning one shard LWP per pool LWP on first use.
+pub(crate) fn global() -> &'static Poller {
+    let p = POLLER.get_or_init(|| {
+        let force = want_uring();
+        let nshards = shard_count();
+        let mut backend_name = "epoll";
+        let shards: Vec<Shard> = (0..nshards)
+            .map(|i| {
+                let (backend, name) = make_backend(force);
+                backend_name = name;
+                Shard::new(i, backend)
+            })
+            .collect();
+        Poller {
+            shards: shards.into_boxed_slice(),
+            rr: AtomicUsize::new(0),
+            backend_name,
         }
     });
     sunmt_stat::register_source("io", io_stat_source);
-    // The LWP is spawned outside get_or_init: its loop touches the
+    // The LWPs are spawned outside get_or_init: their loops touch the
     // singleton, and re-entering a OnceLock initializer deadlocks.
     START.call_once(|| {
-        let lwp = Lwp::spawn_named("sunmt-io-poller".to_string(), || poller_loop(global()))
-            .expect("failed to spawn the poller LWP");
-        drop(lwp); // Detached; it serves the whole process lifetime.
+        for i in 0..p.shards.len() {
+            let lwp = Lwp::spawn_named(format!("sunmt-io-shard-{i}"), move || {
+                shard_loop(global(), i)
+            })
+            .expect("failed to spawn a poller shard LWP");
+            drop(lwp); // Detached; it serves the whole process lifetime.
+        }
     });
     p
 }
@@ -134,33 +452,121 @@ pub(crate) fn maybe_global() -> Option<&'static Poller> {
     POLLER.get()
 }
 
-/// The `"io"` gauge source `sunmt-stat` snapshots. All zeros until the
-/// poller first runs (the source reads, never spawns).
+/// The `"io"` gauge source `sunmt-stat` snapshots: process-wide totals
+/// plus per-shard rows, so the lockstat report shows whether arm/ready
+/// traffic actually spread across the shards. All zeros until the poller
+/// first runs (the source reads, never spawns).
 fn io_stat_source() -> Vec<(String, u64)> {
     let Some(p) = maybe_global() else {
         return Vec::new();
     };
-    vec![
-        (
-            "registrations".to_string(),
-            p.registrations.load(Ordering::Relaxed),
-        ),
-        ("readies".to_string(), p.readies.load(Ordering::Relaxed)),
-        ("parks".to_string(), p.parks.load(Ordering::Relaxed)),
-        ("unparks".to_string(), p.unparks.load(Ordering::Relaxed)),
-        ("timeouts".to_string(), p.timeouts.load(Ordering::Relaxed)),
-        (
-            "epoll_waits".to_string(),
-            p.epoll_waits.load(Ordering::Relaxed),
-        ),
-        (
-            "pending".to_string(),
-            p.pending.load(Ordering::Relaxed) as u64,
-        ),
-    ]
+    let t = p.totals();
+    let mut rows = vec![
+        ("shards".to_string(), p.shards.len() as u64),
+        ("registrations".to_string(), t.registrations),
+        ("readies".to_string(), t.readies),
+        ("parks".to_string(), t.parks),
+        ("unparks".to_string(), t.unparks),
+        ("timeouts".to_string(), t.timeouts),
+        ("epoll_waits".to_string(), t.epoll_waits),
+        ("batch_flushes".to_string(), t.batch_flushes),
+        ("batched_ops".to_string(), t.batched_ops),
+        ("ctl_syscalls".to_string(), t.ctl_syscalls),
+        ("steals".to_string(), t.steals),
+        ("pending".to_string(), t.pending_waiters as u64),
+    ];
+    for s in p.shards.iter() {
+        let i = s.index;
+        rows.push((
+            format!("shard{i}_registrations"),
+            s.n.registrations.load(Ordering::Relaxed),
+        ));
+        rows.push((
+            format!("shard{i}_readies"),
+            s.n.readies.load(Ordering::Relaxed),
+        ));
+        rows.push((
+            format!("shard{i}_flushes"),
+            s.n.batch_flushes.load(Ordering::Relaxed),
+        ));
+        rows.push((
+            format!("shard{i}_steals"),
+            s.n.steals.load(Ordering::Relaxed),
+        ));
+        rows.push((
+            format!("shard{i}_pending"),
+            s.n.pending.load(Ordering::Relaxed) as u64,
+        ));
+    }
+    rows
+}
+
+/// Everything `sunmt_io::stats` reports, summed over the shards.
+pub(crate) struct Totals {
+    pub registrations: u64,
+    pub readies: u64,
+    pub parks: u64,
+    pub unparks: u64,
+    pub timeouts: u64,
+    pub epoll_waits: u64,
+    pub batch_flushes: u64,
+    pub batched_ops: u64,
+    pub ctl_syscalls: u64,
+    pub steals: u64,
+    pub pending_waiters: usize,
 }
 
 impl Poller {
+    /// The shard an arm from this calling context belongs on: the current
+    /// pool LWP's home shard, or round-robin for strangers (bound
+    /// threads, host threads) — registration's analogue of run-queue
+    /// injection.
+    fn pick(&self) -> &Shard {
+        let i = match sunmt::current_shard() {
+            Some(s) => s % self.shards.len(),
+            None => self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+        };
+        &self.shards[i]
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    pub(crate) fn totals(&self) -> Totals {
+        let mut t = Totals {
+            registrations: 0,
+            readies: 0,
+            parks: 0,
+            unparks: 0,
+            timeouts: 0,
+            epoll_waits: 0,
+            batch_flushes: 0,
+            batched_ops: 0,
+            ctl_syscalls: 0,
+            steals: 0,
+            pending_waiters: 0,
+        };
+        for s in self.shards.iter() {
+            t.registrations += s.n.registrations.load(Ordering::Relaxed);
+            t.readies += s.n.readies.load(Ordering::Relaxed);
+            t.parks += s.n.parks.load(Ordering::Relaxed);
+            t.unparks += s.n.unparks.load(Ordering::Relaxed);
+            t.timeouts += s.n.timeouts.load(Ordering::Relaxed);
+            t.epoll_waits += s.n.epoll_waits.load(Ordering::Relaxed);
+            t.batch_flushes += s.n.batch_flushes.load(Ordering::Relaxed);
+            t.batched_ops += s.n.batched_ops.load(Ordering::Relaxed);
+            t.ctl_syscalls += s.n.ctl_syscalls.load(Ordering::Relaxed);
+            t.steals += s.n.steals.load(Ordering::Relaxed);
+            t.pending_waiters += s.n.pending.load(Ordering::Relaxed);
+        }
+        t
+    }
+
     /// Registers interest and parks until `fd` is ready in direction `dir`
     /// or `deadline` (absolute monotonic) passes — then `Err(ETIMEDOUT)`.
     ///
@@ -173,44 +579,31 @@ impl Poller {
         dir: Dir,
         deadline: Option<Duration>,
     ) -> Result<(), Errno> {
-        let w = Arc::new(Waiter {
-            word: AtomicU32::new(WAITING),
-        });
+        let shard = self.pick();
+        let w = Waiter::new();
         {
-            let mut fds = self.fds.lock().expect("fd table poisoned");
+            let mut fds = shard.fds.lock().expect("fd table poisoned");
             let entry = fds.entry(io_fd).or_default();
             match dir {
                 Dir::Read => entry.read.push(Arc::clone(&w)),
                 Dir::Write => entry.write.push(Arc::clone(&w)),
             }
-            if let Err(e) = self.arm_locked(io_fd, entry) {
-                // Roll the registration back; the caller sees the real error
-                // (e.g. EBADF) instead of hanging.
-                let list = match dir {
-                    Dir::Read => &mut entry.read,
-                    Dir::Write => &mut entry.write,
-                };
-                if let Some(pos) = list.iter().position(|x| Arc::ptr_eq(x, &w)) {
-                    list.remove(pos);
-                }
-                if entry.read.is_empty() && entry.write.is_empty() {
-                    fds.remove(&io_fd);
-                }
-                return Err(e);
-            }
+            let want = entry.wanted_mask();
+            shard.arm_locked(io_fd, entry, want);
         }
         probe!(Tag::IoRegister, io_fd as u64, (dir == Dir::Write) as u64);
-        self.registrations.fetch_add(1, Ordering::Relaxed);
-        self.pending.fetch_add(1, Ordering::Relaxed);
+        shard.n.registrations.fetch_add(1, Ordering::Relaxed);
+        shard.n.pending.fetch_add(1, Ordering::Relaxed);
         let t0 = sunmt_stat::tick();
-        let result = self.park(io_fd, dir, deadline, &w);
+        let result = self.park(shard, io_fd, dir, deadline, &w);
         sunmt_stat::record_since(sunmt_stat::Hs::IoWait, t0);
-        self.pending.fetch_sub(1, Ordering::Relaxed);
+        shard.n.pending.fetch_sub(1, Ordering::Relaxed);
         result
     }
 
     fn park(
         &self,
+        shard: &Shard,
         io_fd: i32,
         dir: Dir,
         deadline: Option<Duration>,
@@ -218,102 +611,120 @@ impl Poller {
     ) -> Result<(), Errno> {
         loop {
             if w.word.load(Ordering::SeqCst) == READY {
-                return Ok(());
+                let raw = w.err.load(Ordering::SeqCst);
+                return if raw == 0 {
+                    Ok(())
+                } else {
+                    Err(Errno::from_raw(raw))
+                };
             }
             match deadline {
                 None => {
                     probe!(Tag::IoPark, io_fd as u64);
-                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    shard.n.parks.fetch_add(1, Ordering::Relaxed);
                     strategy::park(&w.word, WAITING, false);
                 }
                 Some(d) => {
                     let now = monotonic_now();
                     if now >= d {
-                        let mut fds = self.fds.lock().expect("fd table poisoned");
+                        let mut fds = shard.fds.lock().expect("fd table poisoned");
                         if let Some(entry) = fds.get_mut(&io_fd) {
                             let list = match dir {
                                 Dir::Read => &mut entry.read,
                                 Dir::Write => &mut entry.write,
                             };
                             if let Some(pos) = list.iter().position(|x| Arc::ptr_eq(x, w)) {
-                                // Still queued: the poller has not claimed
-                                // us, so the timeout wins. Deregister.
+                                // Still queued: no waker has claimed us, so
+                                // the timeout wins. Deregister.
                                 list.remove(pos);
-                                self.rearm_or_remove_locked(io_fd, &mut fds);
+                                shard.rearm_or_remove_locked(io_fd, &mut fds);
                                 drop(fds);
                                 probe!(Tag::IoTimeout, io_fd as u64);
-                                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                                shard.n.timeouts.fetch_add(1, Ordering::Relaxed);
                                 return Err(Errno::ETIMEDOUT);
                             }
                         }
-                        // The poller claimed us concurrently; readiness
-                        // wins (its unpark of our word is benign).
-                        return Ok(());
+                        // A waker claimed us concurrently; its verdict wins
+                        // (the unpark of our word is benign).
+                        drop(fds);
+                        let raw = w.err.load(Ordering::SeqCst);
+                        return if raw == 0 {
+                            Ok(())
+                        } else {
+                            Err(Errno::from_raw(raw))
+                        };
                     }
                     probe!(Tag::IoPark, io_fd as u64);
-                    self.parks.fetch_add(1, Ordering::Relaxed);
+                    shard.n.parks.fetch_add(1, Ordering::Relaxed);
                     strategy::park_timeout(&w.word, WAITING, false, d - now);
                 }
             }
         }
     }
 
-    /// Syncs the kernel-armed mask with the entry's waiters. Call with the
-    /// fd table locked.
-    fn arm_locked(&self, io_fd: i32, entry: &mut FdEntry) -> Result<(), Errno> {
-        let want = entry.wanted_mask();
-        if want == entry.armed {
-            return Ok(());
-        }
-        let ev = EpollEvent {
-            events: want,
-            data: io_fd as u64,
-        };
-        let r = if entry.armed == 0 {
-            match fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_ADD, io_fd, Some(&ev)) {
-                // Someone registered this fd before us and we lost the
-                // armed-mask memo (e.g. a dup'd descriptor); modify instead.
-                Err(Errno::EEXIST) => fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_MOD, io_fd, Some(&ev)),
-                other => other,
+    /// Resolves the close-while-parked race: errors out (with `EBADF`)
+    /// every waiter parked on `io_fd`, on every shard, and enqueues the
+    /// kernel-side deregistration. Called by `sunmt_io::close` *before*
+    /// `close(2)`, because the kernel silently drops a closed fd from its
+    /// epoll sets — without this sweep a parked waiter would hang forever.
+    pub(crate) fn cancel_fd(&self, io_fd: i32) {
+        for shard in self.shards.iter() {
+            let woken = {
+                let mut fds = shard.fds.lock().expect("fd table poisoned");
+                let Some(mut entry) = fds.remove(&io_fd) else {
+                    continue;
+                };
+                if entry.armed != 0 {
+                    // Applied after close(2) it reports ENOENT/EBADF, which
+                    // the flusher ignores; enqueueing (FIFO) rather than
+                    // calling keeps it ordered before any re-registration
+                    // of a recycled fd number on this shard.
+                    shard.enqueue_ctl_locked(EpollCtl {
+                        op: fd::EPOLL_CTL_DEL,
+                        fd: io_fd,
+                        events: 0,
+                    });
+                }
+                entry.take_waiters()
+            };
+            for w in woken {
+                w.err.store(Errno::EBADF.raw(), Ordering::SeqCst);
+                w.word.store(READY, Ordering::SeqCst);
+                probe!(Tag::IoUnpark, io_fd as u64);
+                shard.n.unparks.fetch_add(1, Ordering::Relaxed);
+                strategy::unpark(&w.word, u32::MAX, false);
             }
-        } else {
-            match fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_MOD, io_fd, Some(&ev)) {
-                Err(Errno::ENOENT) => fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_ADD, io_fd, Some(&ev)),
-                other => other,
-            }
-        };
-        r?;
-        entry.armed = want;
-        Ok(())
-    }
-
-    /// Re-arms `io_fd` for the waiters that remain, or deletes it from both
-    /// the table and the epoll set when none do. Call with the table locked.
-    fn rearm_or_remove_locked(&self, io_fd: i32, fds: &mut HashMap<i32, FdEntry>) {
-        let Some(entry) = fds.get_mut(&io_fd) else {
-            return;
-        };
-        if entry.read.is_empty() && entry.write.is_empty() {
-            if entry.armed != 0 {
-                // ENOENT/EBADF just mean the fd is already gone.
-                let _ = fd::epoll_ctl(self.epfd, fd::EPOLL_CTL_DEL, io_fd, None);
-            }
-            fds.remove(&io_fd);
-        } else {
-            // A failed re-arm surfaces on the waiter's next syscall retry.
-            let _ = self.arm_locked(io_fd, entry);
         }
     }
 }
 
-fn poller_loop(p: &'static Poller) {
+/// One shard's poller loop: flush the pending control batch at the park
+/// boundary, sleep in `epoll_wait`, wake/steal, repeat.
+fn shard_loop(p: &'static Poller, index: usize) {
+    let shard = &p.shards[index];
     let mut events = [EpollEvent { events: 0, data: 0 }; 64];
     loop {
-        p.epoll_waits.fetch_add(1, Ordering::Relaxed);
-        // The poller LWP's wait is the canonical "indefinite, external
-        // wait" of the paper's SIGWAITING accounting.
+        // Park boundary: apply this shard's coalesced epoll_ctl traffic
+        // before sleeping (level-triggered ⇒ anything already ready is
+        // reported by the epoll_wait below; nothing is lost to deferral).
+        if shard.flush(None) == 0 {
+            // Idle with no control work of our own: steal a loaded
+            // sibling's batch, the run queue's help-first discipline.
+            for victim in p.shards.iter() {
+                if victim.index == index {
+                    continue;
+                }
+                let loaded = victim.batch.lock().map(|b| !b.is_empty()).unwrap_or(false);
+                if loaded {
+                    victim.flush(Some(index));
+                }
+            }
+        }
+        shard.n.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        // A shard LWP's wait is the canonical "indefinite, external wait"
+        // of the paper's SIGWAITING accounting.
         let t0 = sunmt_stat::tick();
-        let n = registry::global().indefinite_wait(|| fd::epoll_wait(p.epfd, &mut events, -1));
+        let n = registry::global().indefinite_wait(|| fd::epoll_wait(shard.epfd, &mut events, -1));
         sunmt_stat::record_since(sunmt_stat::Hs::PollerWait, t0);
         let n = match n {
             Ok(n) => n,
@@ -325,18 +736,21 @@ fn poller_loop(p: &'static Poller) {
             let mask = ev.events;
             if data == WAKE_KEY {
                 let mut drain = [0u8; 8];
-                let _ = fd::read(p.evfd, &mut drain);
+                let _ = fd::read(shard.evfd, &mut drain);
+                // The batch this kick announced is flushed at the top of
+                // the loop, before the next sleep.
                 continue;
             }
             let io_fd = data as i32;
             probe!(Tag::IoReady, io_fd as u64, mask as u64);
-            p.readies.fetch_add(1, Ordering::Relaxed);
+            shard.n.readies.fetch_add(1, Ordering::Relaxed);
             let woken = {
-                let mut fds = p.fds.lock().expect("fd table poisoned");
+                let mut fds = shard.fds.lock().expect("fd table poisoned");
                 let Some(entry) = fds.get_mut(&io_fd) else {
-                    // Every waiter timed out between the kernel queueing
-                    // this event and us processing it; nothing to do (the
-                    // deregistration already deleted the epoll entry).
+                    // Every waiter timed out (or the fd was cancelled)
+                    // between the kernel queueing this event and us
+                    // processing it; the deregistration DEL is already in
+                    // the batch.
                     continue;
                 };
                 let error = mask & (fd::EPOLLERR | fd::EPOLLHUP | fd::EPOLLRDHUP) != 0;
@@ -347,13 +761,13 @@ fn poller_loop(p: &'static Poller) {
                 if error || mask & fd::EPOLLOUT != 0 {
                     woken.append(&mut entry.write);
                 }
-                p.rearm_or_remove_locked(io_fd, &mut fds);
+                shard.rearm_or_remove_locked(io_fd, &mut fds);
                 woken
             };
             for w in woken {
                 w.word.store(READY, Ordering::SeqCst);
                 probe!(Tag::IoUnpark, io_fd as u64);
-                p.unparks.fetch_add(1, Ordering::Relaxed);
+                shard.n.unparks.fetch_add(1, Ordering::Relaxed);
                 strategy::unpark(&w.word, u32::MAX, false);
             }
         }

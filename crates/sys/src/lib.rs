@@ -19,8 +19,10 @@ pub mod errno;
 pub mod fd;
 pub mod futex;
 pub mod mem;
+pub mod resource;
 pub mod syscall;
 pub mod task;
 pub mod time;
+pub mod uring;
 
 pub use errno::Errno;

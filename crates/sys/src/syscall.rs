@@ -39,6 +39,9 @@ pub mod nr {
     pub const EVENTFD2: usize = 290;
     pub const EPOLL_CREATE1: usize = 291;
     pub const PIPE2: usize = 293;
+    pub const PRLIMIT64: usize = 302;
+    pub const IO_URING_SETUP: usize = 425;
+    pub const IO_URING_ENTER: usize = 426;
 }
 
 /// Converts a raw kernel return value into a `Result`.

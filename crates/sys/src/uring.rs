@@ -1,0 +1,444 @@
+//! A minimal `io_uring` wrapper for batched control-plane submission.
+//!
+//! The sharded I/O poller coalesces its `epoll_ctl` traffic at park
+//! boundaries; this module turns each coalesced batch into **one** kernel
+//! entry instead of one system call per descriptor. Only the pieces that
+//! job needs are implemented: ring setup, `IORING_OP_EPOLL_CTL`
+//! submissions, and a synchronous submit-and-reap. The rings are mapped
+//! with the pre-5.4 two-mapping layout, which every io_uring kernel
+//! accepts.
+//!
+//! Availability is probed at runtime (`io_uring` may be compiled out,
+//! seccomp-filtered, or disabled via the `io_uring_disabled` sysctl, and
+//! `IORING_OP_EPOLL_CTL` needs Linux 5.6); callers fall back to plain
+//! `epoll_ctl` loops when [`Uring::new`] or [`Uring::self_test`] fails.
+
+use crate::errno::Errno;
+use crate::fd::{self, EpollEvent};
+use crate::mem;
+use crate::syscall::{check, nr, syscall2, syscall6};
+
+/// `IORING_OP_EPOLL_CTL` (Linux 5.6+).
+const OP_EPOLL_CTL: u8 = 29;
+/// `IORING_ENTER_GETEVENTS`.
+const ENTER_GETEVENTS: u32 = 1;
+/// `mmap` offset of the submission ring.
+const OFF_SQ_RING: u64 = 0;
+/// `mmap` offset of the completion ring.
+const OFF_CQ_RING: u64 = 0x800_0000;
+/// `mmap` offset of the submission-entry array.
+const OFF_SQES: u64 = 0x1000_0000;
+
+/// `struct io_sqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct SqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// `struct io_cqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct CqOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    resv2: u64,
+}
+
+/// `struct io_uring_params`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqOffsets,
+    cq_off: CqOffsets,
+}
+
+/// `struct io_uring_sqe` (64 bytes).
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    op_flags: u32,
+    user_data: u64,
+    pad: [u64; 3],
+}
+
+/// `struct io_uring_cqe` (16 bytes).
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct Cqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+/// One queued `epoll_ctl` operation of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpollCtl {
+    /// `EPOLL_CTL_ADD` / `EPOLL_CTL_MOD` / `EPOLL_CTL_DEL`.
+    pub op: i32,
+    /// The descriptor whose interest changes.
+    pub fd: i32,
+    /// Requested event mask (ignored for `EPOLL_CTL_DEL`).
+    pub events: u32,
+}
+
+/// One io_uring instance: ring fd plus its three shared mappings.
+pub struct Uring {
+    ring_fd: i32,
+    sq_ring: *mut u8,
+    sq_ring_len: usize,
+    cq_ring: *mut u8,
+    cq_ring_len: usize,
+    sqes: *mut u8,
+    sqes_len: usize,
+    sq_entries: u32,
+    sq_off: SqOffsets,
+    cq_off: CqOffsets,
+}
+
+// SAFETY: The mappings are exclusively owned by this instance; callers
+// serialize access through `&mut self`.
+unsafe impl Send for Uring {}
+
+impl Uring {
+    /// Creates a ring with (at least) `entries` submission slots.
+    ///
+    /// Errors mean "io_uring is unavailable here" (`ENOSYS`, `EPERM`, ...);
+    /// callers are expected to fall back to direct system calls.
+    pub fn new(entries: u32) -> Result<Uring, Errno> {
+        let mut p = UringParams::default();
+        // SAFETY: `p` is a live, zeroed io_uring_params the kernel fills.
+        let ring_fd = check(unsafe {
+            syscall2(
+                nr::IO_URING_SETUP,
+                entries as usize,
+                &mut p as *mut UringParams as usize,
+            )
+        })? as i32;
+        let sq_ring_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_ring_len =
+            p.cq_off.cqes as usize + p.cq_entries as usize * core::mem::size_of::<Cqe>();
+        let sqes_len = p.sq_entries as usize * core::mem::size_of::<Sqe>();
+        let mapped = (|| {
+            let sq_ring = mem::map_shared_file(ring_fd, OFF_SQ_RING, sq_ring_len)?;
+            let cq_ring = match mem::map_shared_file(ring_fd, OFF_CQ_RING, cq_ring_len) {
+                Ok(m) => m,
+                Err(e) => {
+                    // SAFETY: `sq_ring` was just mapped with this length.
+                    let _ = unsafe { mem::unmap(sq_ring, sq_ring_len) };
+                    return Err(e);
+                }
+            };
+            let sqes = match mem::map_shared_file(ring_fd, OFF_SQES, sqes_len) {
+                Ok(m) => m,
+                Err(e) => {
+                    // SAFETY: both rings were just mapped with these lengths.
+                    let _ = unsafe { mem::unmap(sq_ring, sq_ring_len) };
+                    let _ = unsafe { mem::unmap(cq_ring, cq_ring_len) };
+                    return Err(e);
+                }
+            };
+            Ok((sq_ring, cq_ring, sqes))
+        })();
+        let (sq_ring, cq_ring, sqes) = match mapped {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = fd::close(ring_fd);
+                return Err(e);
+            }
+        };
+        Ok(Uring {
+            ring_fd,
+            sq_ring,
+            sq_ring_len,
+            cq_ring,
+            cq_ring_len,
+            sqes,
+            sqes_len,
+            sq_entries: p.sq_entries,
+            sq_off: p.sq_off,
+            cq_off: p.cq_off,
+        })
+    }
+
+    /// The ring's submission capacity (batches larger than this are
+    /// chunked by [`Self::submit_epoll_ctl`]).
+    pub fn capacity(&self) -> usize {
+        self.sq_entries as usize
+    }
+
+    fn sq_u32(&self, off: u32) -> *mut u32 {
+        // SAFETY: every offset handed out by the kernel lies inside the
+        // mapping of `sq_ring_len` bytes.
+        unsafe { self.sq_ring.add(off as usize) as *mut u32 }
+    }
+
+    fn cq_u32(&self, off: u32) -> *mut u32 {
+        // SAFETY: as `sq_u32`, for the completion ring.
+        unsafe { self.cq_ring.add(off as usize) as *mut u32 }
+    }
+
+    /// Submits `ops` as `IORING_OP_EPOLL_CTL` entries against `epfd` and
+    /// waits for all completions. Returns one result per op, in order:
+    /// 0 on success, a negated errno on failure — per-op errors do not
+    /// fail the batch.
+    pub fn submit_epoll_ctl(&mut self, epfd: i32, ops: &[EpollCtl]) -> Result<Vec<i32>, Errno> {
+        let mut results = vec![0i32; ops.len()];
+        // The event structs must stay alive (at stable addresses) until the
+        // kernel consumes the SQEs; one flat buffer serves the whole batch.
+        let events: Vec<EpollEvent> = ops
+            .iter()
+            .map(|o| EpollEvent {
+                events: o.events,
+                data: o.fd as u64,
+            })
+            .collect();
+        let cap = self.capacity();
+        for (chunk_start, chunk) in ops.chunks(cap).enumerate().map(|(i, c)| (i * cap, c)) {
+            let tail_ptr = self.sq_u32(self.sq_off.tail);
+            let mask = {
+                // SAFETY: valid ring offset (see `sq_u32`).
+                unsafe { *self.sq_u32(self.sq_off.ring_mask) }
+            };
+            // SAFETY: the tail is only advanced by us (single submitter).
+            let mut tail = unsafe { core::ptr::read_volatile(tail_ptr) };
+            for (i, op) in chunk.iter().enumerate() {
+                let global = chunk_start + i;
+                let slot = (tail & mask) as usize;
+                let sqe = Sqe {
+                    opcode: OP_EPOLL_CTL,
+                    fd: epfd,
+                    off: op.fd as u64,
+                    addr: if op.op == fd::EPOLL_CTL_DEL {
+                        0
+                    } else {
+                        &events[global] as *const EpollEvent as u64
+                    },
+                    len: op.op as u32,
+                    user_data: global as u64,
+                    ..Sqe::default()
+                };
+                // SAFETY: `slot < sq_entries`, so the write stays inside the
+                // SQE mapping.
+                unsafe {
+                    core::ptr::write_volatile((self.sqes as *mut Sqe).add(slot), sqe);
+                    core::ptr::write_volatile(
+                        self.sq_u32(self.sq_off.array).add(slot),
+                        tail & mask,
+                    );
+                }
+                tail = tail.wrapping_add(1);
+            }
+            // SAFETY: publishing the new tail; Release ordering via the
+            // atomic view of the same cell.
+            unsafe {
+                (*(tail_ptr as *const core::sync::atomic::AtomicU32))
+                    .store(tail, core::sync::atomic::Ordering::Release);
+            }
+            let want = chunk.len();
+            let mut reaped = 0;
+            while reaped < want {
+                // SAFETY: all arguments are plain integers; NULL sigset.
+                let n = check(unsafe {
+                    syscall6(
+                        nr::IO_URING_ENTER,
+                        self.ring_fd as usize,
+                        if reaped == 0 { want } else { 0 },
+                        want - reaped,
+                        ENTER_GETEVENTS as usize,
+                        0,
+                        0,
+                    )
+                });
+                match n {
+                    Ok(_) => {}
+                    Err(Errno::EINTR) => {}
+                    Err(e) => return Err(e),
+                }
+                reaped += self.reap(&mut results);
+            }
+        }
+        drop(events);
+        Ok(results)
+    }
+
+    /// Drains every pending CQE into `results` (indexed by `user_data`);
+    /// returns how many were reaped.
+    fn reap(&mut self, results: &mut [i32]) -> usize {
+        let head_ptr = self.cq_u32(self.cq_off.head);
+        let tail_ptr = self.cq_u32(self.cq_off.tail);
+        // SAFETY: valid ring offsets (see `cq_u32`).
+        let mask = unsafe { *self.cq_u32(self.cq_off.ring_mask) };
+        let mut head = unsafe { core::ptr::read_volatile(head_ptr) };
+        // SAFETY: atomic view of the kernel-written tail cell.
+        let tail = unsafe {
+            (*(tail_ptr as *const core::sync::atomic::AtomicU32))
+                .load(core::sync::atomic::Ordering::Acquire)
+        };
+        let mut n = 0;
+        while head != tail {
+            let slot = (head & mask) as usize;
+            // SAFETY: `slot < cq_entries`; the CQE array starts at
+            // `cq_off.cqes` inside the CQ mapping.
+            let cqe = unsafe {
+                core::ptr::read_volatile(
+                    (self.cq_ring.add(self.cq_off.cqes as usize) as *const Cqe).add(slot),
+                )
+            };
+            if let Some(r) = results.get_mut(cqe.user_data as usize) {
+                *r = cqe.res;
+            }
+            head = head.wrapping_add(1);
+            n += 1;
+        }
+        // SAFETY: publishing the consumed head back to the kernel.
+        unsafe {
+            (*(head_ptr as *const core::sync::atomic::AtomicU32))
+                .store(head, core::sync::atomic::Ordering::Release);
+        }
+        n
+    }
+
+    /// Proves the kernel supports `IORING_OP_EPOLL_CTL` by round-tripping
+    /// one ADD + DEL against a private epoll set. `false` means "fall back
+    /// to plain `epoll_ctl`".
+    pub fn self_test(&mut self) -> bool {
+        let Ok(epfd) = fd::epoll_create1(fd::EPOLL_CLOEXEC) else {
+            return false;
+        };
+        let Ok(evfd) = fd::eventfd2(0, fd::EFD_NONBLOCK | fd::EFD_CLOEXEC) else {
+            let _ = fd::close(epfd);
+            return false;
+        };
+        let ops = [
+            EpollCtl {
+                op: fd::EPOLL_CTL_ADD,
+                fd: evfd,
+                events: fd::EPOLLIN,
+            },
+            EpollCtl {
+                op: fd::EPOLL_CTL_DEL,
+                fd: evfd,
+                events: 0,
+            },
+        ];
+        let ok = matches!(self.submit_epoll_ctl(epfd, &ops).as_deref(), Ok([0, 0]));
+        let _ = fd::close(evfd);
+        let _ = fd::close(epfd);
+        ok
+    }
+}
+
+impl Drop for Uring {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly the regions this instance mapped.
+        unsafe {
+            let _ = mem::unmap(self.sq_ring, self.sq_ring_len);
+            let _ = mem::unmap(self.cq_ring, self.cq_ring_len);
+            let _ = mem::unmap(self.sqes, self.sqes_len);
+        }
+        let _ = fd::close(self.ring_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Option<Uring> {
+        match Uring::new(8) {
+            Ok(u) => Some(u),
+            Err(e) => {
+                eprintln!("io_uring unavailable here ({e}); skipping");
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn setup_reports_capacity_or_is_unavailable() {
+        if let Some(u) = ring() {
+            assert!(u.capacity() >= 8);
+        }
+    }
+
+    #[test]
+    fn batched_epoll_ctl_arms_and_reports_per_op_errors() {
+        let Some(mut u) = ring() else { return };
+        if !u.self_test() {
+            eprintln!("IORING_OP_EPOLL_CTL unsupported; skipping");
+            return;
+        }
+        let epfd = fd::epoll_create1(fd::EPOLL_CLOEXEC).unwrap();
+        let (r, w) = fd::pipe2(fd::O_NONBLOCK | fd::O_CLOEXEC).unwrap();
+        let ops = [
+            EpollCtl {
+                op: fd::EPOLL_CTL_ADD,
+                fd: r,
+                events: fd::EPOLLIN,
+            },
+            // A bad descriptor must fail its own op only.
+            EpollCtl {
+                op: fd::EPOLL_CTL_ADD,
+                fd: 0x3fff_fff0,
+                events: fd::EPOLLIN,
+            },
+        ];
+        let res = u.submit_epoll_ctl(epfd, &ops).unwrap();
+        assert_eq!(res[0], 0);
+        assert_eq!(res[1], -(Errno::EBADF.raw()));
+        // The armed fd reports readiness through plain epoll_wait.
+        fd::write(w, b"x").unwrap();
+        let mut out = [EpollEvent::default(); 4];
+        assert_eq!(fd::epoll_wait(epfd, &mut out, 1000).unwrap(), 1);
+        let data = out[0].data;
+        assert_eq!(data as i32, r);
+        // A batch larger than the ring is chunked transparently.
+        let dels: Vec<EpollCtl> = std::iter::once(EpollCtl {
+            op: fd::EPOLL_CTL_DEL,
+            fd: r,
+            events: 0,
+        })
+        .chain((0..20).map(|_| EpollCtl {
+            op: fd::EPOLL_CTL_DEL,
+            fd: r,
+            events: 0,
+        }))
+        .collect();
+        let res = u.submit_epoll_ctl(epfd, &dels).unwrap();
+        assert_eq!(res[0], 0);
+        assert!(res[1..].iter().all(|&r| r == -(Errno::ENOENT.raw())));
+        for f in [r, w, epfd] {
+            fd::close(f).unwrap();
+        }
+    }
+}

@@ -73,7 +73,9 @@ fn render_class(tag: Tag) -> RenderClass {
         | Tag::ChanSend
         | Tag::ChanRecv
         | Tag::ChanPark
-        | Tag::SelectWake => RenderClass::Instant,
+        | Tag::SelectWake
+        | Tag::IoShardSteal
+        | Tag::IoBatchFlush => RenderClass::Instant,
     }
 }
 

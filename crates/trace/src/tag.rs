@@ -127,10 +127,16 @@ pub enum Tag {
     /// A select wait was woken by one of its registered channels (`a` =
     /// channel address that fired, `b` = waiter's wait-word address).
     SelectWake = 47,
+    /// An idle poller shard flushed a loaded sibling's pending epoll_ctl
+    /// batch (`a` = victim shard index, `b` = ops applied).
+    IoShardSteal = 48,
+    /// A poller shard applied its coalesced epoll_ctl batch (`a` = shard
+    /// index, `b` = ops applied).
+    IoBatchFlush = 49,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 48;
+pub const NTAGS: usize = 50;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -183,6 +189,8 @@ impl Tag {
         Tag::ChanRecv,
         Tag::ChanPark,
         Tag::SelectWake,
+        Tag::IoShardSteal,
+        Tag::IoBatchFlush,
     ];
 
     /// Decodes a stored discriminant.
@@ -241,6 +249,8 @@ impl Tag {
             Tag::ChanRecv => "chan-recv",
             Tag::ChanPark => "chan-park",
             Tag::SelectWake => "select-wake",
+            Tag::IoShardSteal => "io-shard-steal",
+            Tag::IoBatchFlush => "io-batch-flush",
         }
     }
 }

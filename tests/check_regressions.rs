@@ -92,6 +92,21 @@ const CORPUS: &[(&str, &str)] = &[
     // deliver every message exactly once.
     ("v1/chan_mpsc/default/1.1.1.1.1.1.1.1.1.1.1.1", ""),
     ("v1/chan_select/default/1.1.0.1.1.0.1.1", ""),
+    // Poller-shard lost wakeup: the racy waiter enqueues its arm op and
+    // kicks the shard before joining the fd table; the flush arms the fd
+    // and the kernel event delivers into an empty table, so the waiter
+    // parks forever on readiness that already fired. Found by the
+    // exhaustive sweep.
+    (
+        "v1/neg_io_lost_wakeup/default/1.1.0.0.0.0.0.1",
+        "lost wakeup",
+    ),
+    // Adversarial passing schedule through the sharded poller: shard 1's
+    // batch is stolen by the idle sibling, shard 0's flusher parks empty
+    // and is kicked awake by the registration, and one fd's readiness
+    // fires *before* its arm — the level-triggered re-report still
+    // delivers both wakeups.
+    ("v1/io_shard/default/1.1.1.1.1.1.1.1.1.1.1.1", ""),
 ];
 
 #[test]
