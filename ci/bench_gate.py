@@ -55,6 +55,21 @@ Gated metrics:
   latency across the matrix. Ceiling-gated far above the measured
   tail: a waiter that misses its shard's event and limps home on a
   retry path turns a ~100us wake into tens of milliseconds.
+* `BENCH_mutex.json` / `queue_speedup_high` — best queue-lock (ticket/
+  MCS/hybrid) throughput over the sleep lock at the matrix's highest
+  bound contention. On the 1-CPU CI hosts the queue locks pay for
+  their FIFO discipline (~0.6x), so the absolute floor of 0.35 is a
+  collapse detector, not a speedup claim: a lost handoff or a wake
+  storm drops straight through it.
+* `BENCH_mutex.json` / `queue_fairness_spread` — worst per-worker
+  acquisition spread (max/min) across the gated queue-lock cells, the
+  starvation measure. FIFO handoff pins this near 1; ceiling-gated
+  with room for scheduler noise, because a broken queue discipline
+  shows up as spreads in the hundreds.
+
+Each violated gate also prints one machine-readable `GATE-FAIL {json}`
+line (bench, metric, value, bound, direction, why) for tooling that
+scrapes the CI log.
 
 Usage: ci/bench_gate.py [repo-root]
 """
@@ -155,6 +170,20 @@ GATES = [
         tolerance=0.0,
         why="the sharded poller's wake latency grew a pathological tail",
     ),
+    Gate(
+        "BENCH_mutex.json",
+        "queue_speedup_high",
+        floor=0.35,
+        tolerance=0.0,
+        why="queue-lock throughput collapsed relative to the sleep lock at high contention",
+    ),
+    Gate(
+        "BENCH_mutex.json",
+        "queue_fairness_spread",
+        ceiling=10.0,
+        tolerance=0.5,
+        why="a queue lock is starving workers (FIFO handoff discipline broken)",
+    ),
 ]
 
 
@@ -171,7 +200,7 @@ def metric_from(path, metric):
 
 
 def run_gate(root, gate):
-    """Returns None on pass, or the one-line failure description."""
+    """Returns None on pass, or a dict describing the violation."""
     committed = f"{root}/{gate.bench}"
     fresh = committed.replace(".json", ".fresh.json")
     value = metric_from(fresh, gate.metric)
@@ -185,24 +214,27 @@ def run_gate(root, gate):
         )
         if ok:
             return None
-        return (
-            f"{gate.bench}: {gate.metric} rose to {value:.2f} "
-            f"(required <= {need:.2f}) — {gate.why}"
+        direction = "ceiling"
+    else:
+        baseline = gate.floor if gate.floor is not None else metric_from(committed, gate.metric)
+        need = baseline * (1.0 - gate.tolerance)
+        kind = "floor" if gate.floor is not None else "committed"
+        verdict = "PASS" if value >= need else "FAIL"
+        print(
+            f"{verdict} {gate.bench} {gate.metric}: fresh={value:.2f} "
+            f"{kind}={baseline:.2f} required>={need:.2f}"
         )
-    baseline = gate.floor if gate.floor is not None else metric_from(committed, gate.metric)
-    need = baseline * (1.0 - gate.tolerance)
-    kind = "floor" if gate.floor is not None else "committed"
-    verdict = "PASS" if value >= need else "FAIL"
-    print(
-        f"{verdict} {gate.bench} {gate.metric}: fresh={value:.2f} "
-        f"{kind}={baseline:.2f} required>={need:.2f}"
-    )
-    if value >= need:
-        return None
-    return (
-        f"{gate.bench}: {gate.metric} fell to {value:.2f} "
-        f"(required >= {need:.2f}) — {gate.why}"
-    )
+        if value >= need:
+            return None
+        direction = "floor"
+    return {
+        "bench": gate.bench,
+        "metric": gate.metric,
+        "value": value,
+        "required": need,
+        "direction": direction,
+        "why": gate.why,
+    }
 
 
 def main():
@@ -211,7 +243,14 @@ def main():
     root = sys.argv[1] if len(sys.argv) == 2 else "."
     failures = [f for g in GATES if (f := run_gate(root, g)) is not None]
     for f in failures:
-        print(f"REGRESSION: {f}")
+        arrow = "rose to" if f["direction"] == "ceiling" else "fell to"
+        bound = "<=" if f["direction"] == "ceiling" else ">="
+        print(
+            f"REGRESSION: {f['bench']}: {f['metric']} {arrow} {f['value']:.2f} "
+            f"(required {bound} {f['required']:.2f}) — {f['why']}"
+        )
+        # One machine-readable line per violation, for log scrapers.
+        print(f"GATE-FAIL {json.dumps(f, sort_keys=True)}")
     if failures:
         sys.exit(f"bench gate: {len(failures)} of {len(GATES)} gates violated")
     print(f"bench gate OK ({len(GATES)} gates)")

@@ -1,0 +1,76 @@
+//! Cross-process ticket lock: the `SYNC_SHARED | TICKET` variant's whole
+//! state is one packed `AtomicU32` (serving half / next-ticket half) in
+//! the mutex word, so placing it in a `MAP_SHARED` file gives two *real*
+//! processes a FIFO lock — unlike MCS, whose queue nodes live in
+//! per-process statics and cannot cross an address-space boundary.
+//!
+//! The child protocol mirrors `tests/cross_process.rs`: this test binary
+//! re-executes itself with a role in the environment, and the child
+//! branch runs before anything else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sunmt_shm::{ipc, SharedFile};
+use sunmt_sync::{Mutex, Sema, SyncType};
+
+const ITERS: u64 = 10_000;
+
+// Layout inside the shared file (all offsets 64-byte aligned so the hot
+// words sit in separate cache lines).
+const OFF_MUTEX: usize = 0;
+const OFF_COUNTER: usize = 64;
+const OFF_DONE: usize = 128;
+
+#[test]
+fn cross_process_ticket_lock_excludes_and_stays_fifo() {
+    if let Some(role) = ipc::child_role() {
+        if role != "shm-ticket" {
+            return; // Another test's child re-execution; not ours.
+        }
+        let path = ipc::child_shared_path().expect("child shared path");
+        let f = SharedFile::open(path).expect("child open");
+        // SAFETY: Parent laid out (Mutex, AtomicU64, Sema) at 0/64/128
+        // and initialized them before spawning us.
+        let m: &Mutex = unsafe { f.sync_var(OFF_MUTEX) };
+        let counter: &AtomicU64 = unsafe { f.sync_var(OFF_COUNTER) };
+        let done: &Sema = unsafe { f.sync_var(OFF_DONE) };
+        for _ in 0..ITERS {
+            m.enter();
+            // Non-atomic RMW under the lock: only mutual exclusion
+            // between the two processes keeps the final sum exact.
+            let v = counter.load(Ordering::Relaxed);
+            counter.store(v + 1, Ordering::Relaxed);
+            m.exit();
+        }
+        done.v();
+        std::process::exit(0);
+    }
+
+    let path = std::env::temp_dir().join(format!("sunmt-shm-ticket-{}", std::process::id()));
+    let f = SharedFile::create(&path, 4096).expect("create");
+    // SAFETY: Aligned, in-bounds, zero-valid; initialized below before
+    // the child can observe them.
+    let m: &Mutex = unsafe { f.sync_var(OFF_MUTEX) };
+    let counter: &AtomicU64 = unsafe { f.sync_var(OFF_COUNTER) };
+    let done: &Sema = unsafe { f.sync_var(OFF_DONE) };
+    m.init(SyncType::TICKET | SyncType::SHARED);
+    done.init(0, SyncType::SHARED);
+
+    let mut child = ipc::spawn_cooperating_env("shm-ticket", &path).expect("spawn");
+    for _ in 0..ITERS {
+        m.enter();
+        let v = counter.load(Ordering::Relaxed);
+        counter.store(v + 1, Ordering::Relaxed);
+        m.exit();
+    }
+    done.p(); // Child finished its half.
+    assert_eq!(counter.load(Ordering::Relaxed), 2 * ITERS);
+    // The lock must be fully released: the word's serving and next
+    // halves agree again, so one more uncontended round-trip succeeds.
+    assert!(m.try_enter(), "ticket word left unbalanced");
+    m.exit();
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "child exited with {status:?}");
+    drop(f);
+    let _ = std::fs::remove_file(&path);
+}

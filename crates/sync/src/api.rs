@@ -28,6 +28,11 @@ pub fn mutex_tryenter(mp: &Mutex) -> bool {
     mp.try_enter()
 }
 
+/// `mutex_destroy(mp)`.
+pub fn mutex_destroy(mp: &Mutex) {
+    mp.destroy();
+}
+
 /// `cv_init(cvp, type, arg)`.
 pub fn cv_init(cvp: &Condvar, kind: SyncType) {
     cvp.init(kind);

@@ -75,7 +75,9 @@ fn render_class(tag: Tag) -> RenderClass {
         | Tag::ChanPark
         | Tag::SelectWake
         | Tag::IoShardSteal
-        | Tag::IoBatchFlush => RenderClass::Instant,
+        | Tag::IoBatchFlush
+        | Tag::MutexQueueWait
+        | Tag::MutexHandoff => RenderClass::Instant,
     }
 }
 

@@ -133,10 +133,18 @@ pub enum Tag {
     /// A poller shard applied its coalesced epoll_ctl batch (`a` = shard
     /// index, `b` = ops applied).
     IoBatchFlush = 49,
+    /// A queue-lock (ticket/MCS/hybrid) enter missed the uncontended grant
+    /// and joined the FIFO queue (`a` = lock word address, `b` = tickets
+    /// ahead for the ticket protocols, predecessor node tag for MCS).
+    MutexQueueWait = 50,
+    /// An MCS release handed the lock directly to its successor (`a` =
+    /// lock word address, `b` = 1 if the successor was parked and a futex
+    /// wake was issued, 0 if it was handed to a spinner).
+    MutexHandoff = 51,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 50;
+pub const NTAGS: usize = 52;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -191,6 +199,8 @@ impl Tag {
         Tag::SelectWake,
         Tag::IoShardSteal,
         Tag::IoBatchFlush,
+        Tag::MutexQueueWait,
+        Tag::MutexHandoff,
     ];
 
     /// Decodes a stored discriminant.
@@ -251,6 +261,8 @@ impl Tag {
             Tag::SelectWake => "select-wake",
             Tag::IoShardSteal => "io-shard-steal",
             Tag::IoBatchFlush => "io-batch-flush",
+            Tag::MutexQueueWait => "mutex-queue-wait",
+            Tag::MutexHandoff => "mutex-handoff",
         }
     }
 }
