@@ -66,6 +66,14 @@ Gated metrics:
   starvation measure. FIFO handoff pins this near 1; ceiling-gated
   with room for scheduler noise, because a broken queue discipline
   shows up as spreads in the hundreds.
+* `BENCH_preempt.json` / `p99_dispatch_us` — p99 probe dispatch
+  latency onto hog-occupied shards in the virtual-time preemption
+  simulation. Deterministic, ceiling-gated at two tick periods: a
+  broken decay table or preemption check sends the tail straight to
+  the hogs' voluntary-yield cadence, an order of magnitude above.
+* `BENCH_preempt.json` / `starved_dispatches` — probes that waited
+  more than 20 ticks for a processor in the same simulation. Timer
+  preemption exists so this is exactly zero; ceiling-gated at zero.
 
 Each violated gate also prints one machine-readable `GATE-FAIL {json}`
 line (bench, metric, value, bound, direction, why) for tooling that
@@ -183,6 +191,20 @@ GATES = [
         ceiling=10.0,
         tolerance=0.5,
         why="a queue lock is starving workers (FIFO handoff discipline broken)",
+    ),
+    Gate(
+        "BENCH_preempt.json",
+        "p99_dispatch_us",
+        ceiling=20000.0,
+        tolerance=0.0,
+        why="timer preemption no longer bounds dispatch latency to the tick",
+    ),
+    Gate(
+        "BENCH_preempt.json",
+        "starved_dispatches",
+        ceiling=0.0,
+        tolerance=0.0,
+        why="a probe starved behind a CPU hog despite the preemption tick",
     ),
 ]
 

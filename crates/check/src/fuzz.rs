@@ -203,6 +203,7 @@ mod tests {
             chan_caps: vec![],
             io_shards: 0,
             io_fds: 0,
+            thread_pris: vec![],
             final_counters: vec![(0, 2)],
             expect: Expect::FailContaining("counter"),
             min_schedules: 0,

@@ -350,6 +350,30 @@ pub enum SyncOp {
     /// successor that already swapped itself in as tail (but has not yet
     /// linked) parks forever on a lock nobody holds.
     McsExitRacy(usize),
+    /// A timer tick landing on thread `v` (one atomic step): raises its
+    /// preempt flag. `v`'s *next* step runs the safepoint gate — if any
+    /// runnable thread outranks it (effective priorities), it is switched
+    /// off its processor and stays off until it outranks the field again
+    /// (a PI boost, or a runnable thread completing, re-evaluates it).
+    /// Preemption may thus land at *any* micro-step boundary of `v`'s
+    /// machine — including mid-critical-section.
+    TickPreempt(usize),
+    /// Adaptive `mutex_enter` with priority inheritance: identical to
+    /// [`SyncOp::MutexEnterAdaptive`] except that the park step first
+    /// pushes the waiter's priority onto the recorded owner (boost and
+    /// park are one atomic step, as in the real library where the boost
+    /// happens before the futex wait commits).
+    MutexEnterAdaptivePi(usize),
+    /// The seeded-buggy PI enter: the same machine with the boost compiled
+    /// out. A high-priority waiter parks behind a preempted owner without
+    /// raising it, so a middle-priority hog holds the processor — the
+    /// unbounded-priority-inversion state the oracle convicts.
+    MutexEnterAdaptiveNoPi(usize),
+    /// Adaptive `mutex_exit` with priority inheritance: strips the boost
+    /// this thread carries and releases the word in one atomic step (the
+    /// real release clears the owner hint, strips, then stores UNLOCKED),
+    /// then wakes one waiter in the next.
+    MutexExitPi(usize),
 }
 
 /// What the explorer expects from a model.
@@ -370,6 +394,10 @@ pub struct Model {
     pub about: &'static str,
     /// One op-script per thread.
     pub threads: Vec<Vec<SyncOp>>,
+    /// Base scheduling priority per thread (resized with zeros to the
+    /// thread count). Only meaningful to models using [`SyncOp::TickPreempt`]
+    /// and the PI enter/exit ops; everything else ignores priorities.
+    pub thread_pris: Vec<i32>,
     /// Number of modelled mutexes.
     pub mutexes: usize,
     /// Number of modelled ticket mutexes (FIFO grant-order oracle).
@@ -574,6 +602,9 @@ struct ThreadSt {
     parked: bool,
     timed_out: bool,
     done: bool,
+    /// A [`SyncOp::TickPreempt`] flagged this thread; its next step runs
+    /// the safepoint gate instead of its op.
+    preempted: bool,
 }
 
 /// Where a thread was stuck when the run went idle.
@@ -601,6 +632,9 @@ pub enum BlockedOn {
     /// An idle poller flusher/stealer parked waiting for ctl work on
     /// this shard's batch.
     IoSvc(usize),
+    /// Switched out by a timer preemption, waiting to outrank the
+    /// runnable field again.
+    Preempted,
 }
 
 /// What a micro-step asks the kernel to do next.
@@ -626,6 +660,14 @@ pub struct World {
     chans: Vec<ChanSt>,
     io: IoSt,
     threads: Vec<ThreadSt>,
+    /// Base priority per thread (from the model, zero-padded).
+    pris: Vec<i32>,
+    /// Inherited (PI) priority per thread; 0 = no boost in effect.
+    boost: Vec<i32>,
+    /// Threads switched out by the preemption gate: `(thread,
+    /// resume_micro)`. Woken by a PI boost targeting them or by any
+    /// thread completing (both shrink the field they must outrank).
+    preempt_parked: Vec<(usize, u32)>,
     /// Thread index -> simkernel LWP id (filled at setup).
     lwp_ids: Vec<SimLwpId>,
     /// The run's event log (shared tag vocabulary).
@@ -727,8 +769,16 @@ impl World {
                     parked: false,
                     timed_out: false,
                     done: false,
+                    preempted: false,
                 })
                 .collect(),
+            pris: {
+                let mut p = model.thread_pris.clone();
+                p.resize(model.threads.len(), 0);
+                p
+            },
+            boost: vec![0; model.threads.len()],
+            preempt_parked: Vec::new(),
             lwp_ids: Vec::new(),
             events: Vec::new(),
             failure: None,
@@ -816,6 +866,12 @@ impl World {
                         .iter()
                         .find(|(w, _, _)| *w == t)
                         .map(|(_, s, _)| BlockedOn::IoSvc(*s))
+                })
+                .or_else(|| {
+                    self.preempt_parked
+                        .iter()
+                        .any(|(w, _)| *w == t)
+                        .then_some(BlockedOn::Preempted)
                 });
             if let Some(on) = on {
                 out.push((t, on));
@@ -886,9 +942,43 @@ impl World {
             self.threads[t].done = true;
             return (Op::Exit, wakes);
         }
+        // The safepoint gate: a preempted thread re-checks the runnable
+        // field before anything else (the real library's preempt-flag
+        // check at a safepoint). While outranked it parks on the preempt
+        // queue — off the processor at whatever micro-step the tick caught
+        // it, critical sections included.
+        if self.threads[t].preempted {
+            let outranked = (0..self.threads.len()).any(|u| {
+                u != t
+                    && !self.threads[u].done
+                    && !self.threads[u].parked
+                    && self.eff(u) > self.eff(t)
+            });
+            if outranked {
+                let resume = self.threads[t].micro;
+                self.preempt_parked.push((t, resume));
+                self.push_event(t, Tag::Preempt, t as u64, self.eff(t) as u64);
+                let step = self.park(t, None);
+                self.check_unbounded_inversion();
+                let op = match step {
+                    NextStep::Yield => Op::Yield,
+                    NextStep::Block => Op::WaitIndefinite,
+                    NextStep::BlockTimed(latency) => Op::IndefiniteSyscall { latency },
+                };
+                return (op, wakes);
+            }
+            self.threads[t].preempted = false;
+        }
         let pc = self.threads[t].pc;
         let Some(op) = self.threads[t].ops.get(pc).cloned() else {
             self.threads[t].done = true;
+            // A completion shrinks the field every preempted thread must
+            // outrank: re-evaluate them all (each re-parks if still
+            // outranked, so this terminates — completions are finite).
+            let pp = std::mem::take(&mut self.preempt_parked);
+            for (w, resume) in pp {
+                self.wake(w, resume, &mut wakes);
+            }
             return (Op::Exit, wakes);
         };
         let next = self.exec(t, &op, &mut wakes);
@@ -1215,7 +1305,32 @@ impl World {
                 self.advance(t);
                 NextStep::Yield
             }
-            SyncOp::MutexEnterAdaptive(m) => self.mutex_enter_adaptive_machine(t, m),
+            SyncOp::MutexEnterAdaptive(m) => self.mutex_enter_adaptive_machine(t, m, false, wakes),
+            SyncOp::MutexEnterAdaptivePi(m) => self.mutex_enter_adaptive_machine(t, m, true, wakes),
+            SyncOp::MutexEnterAdaptiveNoPi(m) => {
+                self.mutex_enter_adaptive_machine(t, m, false, wakes)
+            }
+            SyncOp::MutexExitPi(m) => {
+                // Strip-and-release is one atomic step (micro 0 of the
+                // exit machine), mirroring the real release path.
+                if self.threads[t].micro == 0 && self.boost[t] > 0 {
+                    let stripped = self.boost[t];
+                    self.boost[t] = 0;
+                    self.push_event(t, Tag::PiStrip, m as u64, stripped as u64);
+                }
+                self.mutex_exit_machine(t, m, wakes)
+            }
+            SyncOp::TickPreempt(v) => {
+                // One step: raise `v`'s preempt flag (the ticker LWP's
+                // cross-LWP store). A parked or finished thread is not on
+                // a processor, so there is nothing to preempt.
+                if !self.threads[v].done && !self.threads[v].parked {
+                    self.threads[v].preempted = true;
+                    self.push_event(t, Tag::PrioDecay, v as u64, self.eff(v) as u64);
+                }
+                self.advance(t);
+                NextStep::Yield
+            }
             SyncOp::RunqPush { shard } => self.runq_push_machine(t, Some(shard), wakes),
             SyncOp::RunqInjectPush => self.runq_push_machine(t, None, wakes),
             SyncOp::RunqPop { shard } => self.runq_pop_machine(t, shard),
@@ -1741,7 +1856,13 @@ impl World {
     /// [`ADAPTIVE_MODEL_SPINS`] cap bounds the schedule tree the same way
     /// the library's spin cap bounds wasted cycles. A parked waiter
     /// resumes at micro 0 and re-runs the whole decision.
-    fn mutex_enter_adaptive_machine(&mut self, t: usize, m: usize) -> NextStep {
+    fn mutex_enter_adaptive_machine(
+        &mut self,
+        t: usize,
+        m: usize,
+        boost: bool,
+        wakes: &mut Vec<usize>,
+    ) -> NextStep {
         match self.threads[t].micro {
             0 => {
                 if self.variant == Variant::Debug && self.mutexes[m].owner == Some(t) {
@@ -1787,11 +1908,91 @@ impl World {
                     self.threads[t].micro = 0;
                     NextStep::Yield
                 } else {
+                    if boost {
+                        // Priority inheritance, atomically with the park
+                        // commit (the real boost lands before the futex
+                        // wait): raise the recorded owner to our priority
+                        // and pull it back onto a processor if the
+                        // preemption gate had switched it out.
+                        if let Some(o) = self.mutexes[m].owner {
+                            if self.pris[t] > self.eff(o) {
+                                self.boost[o] = self.pris[t];
+                                self.push_event(t, Tag::PiBoost, m as u64, self.pris[t] as u64);
+                                if let Some(pos) =
+                                    self.preempt_parked.iter().position(|(w, _)| *w == o)
+                                {
+                                    let (w, resume) = self.preempt_parked.remove(pos);
+                                    self.wake(w, resume, wakes);
+                                }
+                            }
+                        }
+                    }
                     self.mutexes[m].word = 2;
                     self.push_event(t, Tag::MutexBlock, m as u64, 0);
                     self.mutexes[m].waiters.push_back((t, 0));
-                    self.park(t, None)
+                    let step = self.park(t, None);
+                    self.check_unbounded_inversion();
+                    step
                 }
+            }
+        }
+    }
+
+    /// The effective priority of thread `t`: its base, or the PI boost
+    /// pushed onto it, whichever is higher.
+    fn eff(&self, t: usize) -> i32 {
+        self.pris[t].max(self.boost[t])
+    }
+
+    /// The unbounded-priority-inversion oracle, checked whenever a park
+    /// commits (a waiter's or the preemption gate's — the two orderings in
+    /// which the signature can complete). Convicts the *state*, not a
+    /// timeout: a high-priority waiter parked on a mutex whose preempted,
+    /// unboosted owner is outranked by a runnable middle-priority thread.
+    /// With inheritance the boost and the park are one atomic step, so the
+    /// owner is never simultaneously preempted-and-outranked by a middle
+    /// hog while a boosted-priority waiter sleeps — the signature cannot
+    /// form.
+    fn check_unbounded_inversion(&mut self) {
+        for m in 0..self.mutexes.len() {
+            let Some(o) = self.mutexes[m].owner else {
+                continue;
+            };
+            if !self.preempt_parked.iter().any(|(w, _)| *w == o) {
+                continue;
+            }
+            let eo = self.eff(o);
+            let Some(&(w, _)) = self.mutexes[m]
+                .waiters
+                .iter()
+                .max_by_key(|(w, _)| self.pris[*w])
+            else {
+                continue;
+            };
+            let pw = self.pris[w];
+            if pw <= eo {
+                continue;
+            }
+            let hog = (0..self.threads.len()).find(|&u| {
+                u != o
+                    && u != w
+                    && !self.threads[u].done
+                    && !self.threads[u].parked
+                    && self.eff(u) > eo
+                    && self.eff(u) < pw
+            });
+            if let Some(u) = hog {
+                let eu = self.eff(u);
+                self.fail(
+                    w,
+                    format!(
+                        "unbounded priority inversion: waiter (pri {pw}) parked on mutex {m} \
+                         whose preempted owner (thread {o}, effective pri {eo}) is starved \
+                         by runnable thread {u} (effective pri {eu}) — owner priority not \
+                         boosted"
+                    ),
+                );
+                return;
             }
         }
     }
@@ -2669,6 +2870,7 @@ mod tests {
                 vec![SyncOp::MutexEnter(0), SyncOp::Incr(0), SyncOp::MutexExit(0)],
                 vec![SyncOp::MutexEnter(0), SyncOp::Incr(0), SyncOp::MutexExit(0)],
             ],
+            thread_pris: vec![],
             mutexes: 1,
             ticket_mutexes: 0,
             mcs_mutexes: 0,

@@ -17,6 +17,7 @@ fn base(name: &'static str, about: &'static str, threads: Vec<Vec<SyncOp>>) -> M
         name,
         about,
         threads,
+        thread_pris: vec![],
         mutexes: 0,
         ticket_mutexes: 0,
         mcs_mutexes: 0,
@@ -425,6 +426,45 @@ pub fn catalogue() -> Vec<Model> {
                 ],
             )
         },
+        Model {
+            // Low-priority holder, middle-priority CPU hog, high-priority
+            // waiter — the classic inversion triangle. The tick may land
+            // on the holder at any micro-step, critical section included;
+            // the waiter's park pushes its priority onto the holder, so
+            // the hog can never keep the section off the processor while
+            // the waiter sleeps. Every schedule must still serialize both
+            // increments and terminate.
+            thread_pris: vec![10, 20, 40],
+            mutexes: 1,
+            counters: 1,
+            crits: 1,
+            final_counters: vec![(0, 2)],
+            preemption_bound: Some(3),
+            min_schedules: 400,
+            variants: vec![Variant::Default],
+            ..base(
+                "mutex_adaptive_pi",
+                "priority inheritance keeps a preempted adaptive-mutex holder schedulable",
+                vec![
+                    vec![
+                        MutexEnterAdaptivePi(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExitPi(0),
+                    ],
+                    vec![Work(1), TickPreempt(0), Work(6)],
+                    vec![
+                        Work(2),
+                        MutexEnterAdaptivePi(0),
+                        CritEnter(0),
+                        Incr(0),
+                        CritExit(0),
+                        MutexExitPi(0),
+                    ],
+                ],
+            )
+        },
         // --------------------------------------------- wait morphing
         Model {
             mutexes: 1,
@@ -760,6 +800,31 @@ pub fn catalogue() -> Vec<Model> {
             )
         },
         Model {
+            // The same inversion triangle as `mutex_adaptive_pi`, with the
+            // boost compiled out of the waiter's park. Some schedules
+            // reach the convicted state: holder (pri 10) preempted by the
+            // tick, high waiter (pri 40) parked on its mutex, middle hog
+            // (pri 20) runnable — nothing will run the holder until the
+            // hog finishes, so the waiter's latency is bounded only by the
+            // hog's whim. The oracle convicts the state at park commit.
+            thread_pris: vec![10, 20, 40],
+            mutexes: 1,
+            counters: 1,
+            preemption_bound: Some(3),
+            variants: vec![Variant::Default],
+            expect: Expect::FailContaining("unbounded priority inversion"),
+            ..base(
+                "neg_pi_unbounded_inversion",
+                "no priority inheritance: a preempted low-pri holder starves under a \
+                 middle-pri hog while a high-pri waiter sleeps",
+                vec![
+                    vec![MutexEnterAdaptiveNoPi(0), Incr(0), MutexExit(0)],
+                    vec![Work(1), TickPreempt(0), Work(40)],
+                    vec![Work(2), MutexEnterAdaptiveNoPi(0), Incr(0), MutexExit(0)],
+                ],
+            )
+        },
+        Model {
             mutexes: 1,
             expect: Expect::FailContaining("recursive"),
             variants: vec![Variant::Debug],
@@ -817,8 +882,14 @@ mod tests {
                         SyncOp::MutexEnter(i)
                         | SyncOp::MutexExit(i)
                         | SyncOp::MutexEnterAdaptive(i)
+                        | SyncOp::MutexEnterAdaptivePi(i)
+                        | SyncOp::MutexEnterAdaptiveNoPi(i)
+                        | SyncOp::MutexExitPi(i)
                         | SyncOp::TryenterElseSkip { mutex: i, .. } => {
                             assert!(i < m.mutexes, "{}: mutex {i}", m.name)
+                        }
+                        SyncOp::TickPreempt(v) => {
+                            assert!(v < m.threads.len(), "{}: thread {v}", m.name)
                         }
                         SyncOp::CvWaitOnce { cv, mutex }
                         | SyncOp::WaitUntilFlag { cv, mutex, .. }

@@ -65,9 +65,11 @@ pub trait RunItem {
 
 impl RunItem for std::sync::Arc<crate::thread::Thread> {
     fn priority(&self) -> i32 {
-        // UFCS: plain `self.priority()` would resolve back to this trait
-        // method on the `Arc` itself.
-        crate::thread::Thread::priority(self.as_ref())
+        // Queued at the *effective* (decay-adjusted) priority, so a hog
+        // that was preempted re-queues below the threads it starved. UFCS:
+        // plain `self.priority()` would resolve back to this trait method
+        // on the `Arc` itself.
+        crate::thread::Thread::effective_priority(self.as_ref())
     }
     fn same(&self, other: &Self) -> bool {
         std::sync::Arc::ptr_eq(self, other)
@@ -247,6 +249,10 @@ pub struct ShardStat {
 pub struct ShardedRunQueue<T> {
     shards: Vec<Shard<T>>,
     inject: Mutex<RunQueue<T>>,
+    /// [`RunQueue::top_level`] of `inject`, republished under the inject
+    /// lock on every mutation — the preemption check reads it without the
+    /// lock, like the shard `top` advertisements.
+    inject_top: AtomicI32,
     total: AtomicUsize,
     next_shard: AtomicUsize,
     steals: AtomicU64,
@@ -269,6 +275,7 @@ impl<T: RunItem> ShardedRunQueue<T> {
         ShardedRunQueue {
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
             inject: Mutex::new(RunQueue::new()),
+            inject_top: AtomicI32::new(-1),
             total: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
@@ -310,7 +317,10 @@ impl<T: RunItem> ShardedRunQueue<T> {
     /// from contexts that have no home shard.
     pub fn push_inject(&self, t: T) -> Placement {
         probe!(Tag::RunqInject, t.trace_id());
-        unpoisoned(&self.inject).push(t);
+        let mut q = unpoisoned(&self.inject);
+        q.push(t);
+        self.inject_top.store(q.top_level(), Ordering::Release);
+        drop(q);
         self.total.fetch_add(1, Ordering::Release);
         self.injects.fetch_add(1, Ordering::Relaxed);
         Placement::Injected
@@ -328,6 +338,17 @@ impl<T: RunItem> ShardedRunQueue<T> {
                 return Some(t);
             }
             if let Some(t) = self.steal(shard) {
+                return Some(t);
+            }
+        }
+        // Priority order between the two queues this LWP dispatches from:
+        // an injected thread that outranks the shard's advertised top must
+        // go first — a preempted thread requeues on its own shard, and
+        // taking the shard blindly would dispatch it ahead of the very
+        // thread whose arrival preempted it. Stale reads only cost the
+        // fallback order for one dispatch, never correctness.
+        if self.inject_top.load(Ordering::Acquire) > s.top.load(Ordering::Acquire) {
+            if let Some(t) = self.pop_inject() {
                 return Some(t);
             }
         }
@@ -360,11 +381,27 @@ impl<T: RunItem> ShardedRunQueue<T> {
 
     /// Pops from the injection queue only.
     pub fn pop_inject(&self) -> Option<T> {
-        let t = unpoisoned(&self.inject).pop();
+        let mut q = unpoisoned(&self.inject);
+        let t = q.pop();
+        self.inject_top.store(q.top_level(), Ordering::Release);
+        drop(q);
         if t.is_some() {
             self.total.fetch_sub(1, Ordering::Release);
         }
         t
+    }
+
+    /// The highest priority runnable *somewhere this LWP could dispatch
+    /// from*: its own shard's advertisement or the injection queue's. This
+    /// is the preemption check's one-load question — "is something better
+    /// than me waiting?" — deliberately excluding other shards (their own
+    /// LWPs service them; stealing a preemption across shards would ping
+    /// -pong hogs). Returns -1 when both read empty.
+    pub fn preempt_priority(&self, shard: usize) -> i32 {
+        let s = &self.shards[shard % self.shards.len()];
+        s.top
+            .load(Ordering::Acquire)
+            .max(self.inject_top.load(Ordering::Acquire))
     }
 
     /// Steals one item for the LWP on shard `me`: picks the victim
@@ -409,9 +446,14 @@ impl<T: RunItem> ShardedRunQueue<T> {
     /// Removes a specific item wherever it is queued; returns whether it
     /// was present.
     pub fn remove(&self, t: &T) -> bool {
-        if unpoisoned(&self.inject).remove(t) {
-            self.total.fetch_sub(1, Ordering::Release);
-            return true;
+        {
+            let mut q = unpoisoned(&self.inject);
+            if q.remove(t) {
+                self.inject_top.store(q.top_level(), Ordering::Release);
+                drop(q);
+                self.total.fetch_sub(1, Ordering::Release);
+                return true;
+            }
         }
         for s in &self.shards {
             let mut q = unpoisoned(&s.q);
@@ -562,6 +604,36 @@ mod tests {
         assert_eq!(q.pop(0), Some((1, 10)));
         assert_eq!(q.steal_count(), 1);
         assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn injected_item_outranking_the_shard_dispatches_first() {
+        let q = ShardedRunQueue::new(2);
+        // The preemption shape: the decayed hog requeued on its own shard,
+        // the freshly woken high-priority thread injected from off-pool.
+        q.push(0, (0, 1));
+        q.push_inject((20, 2));
+        assert_eq!(q.preempt_priority(0), 20);
+        assert_eq!(q.pop(0), Some((20, 2)));
+        assert_eq!(q.pop(0), Some((0, 1)));
+        // An injected item that does NOT outrank the shard waits its turn.
+        q.push(0, (5, 3));
+        q.push_inject((5, 4));
+        assert_eq!(q.pop(0), Some((5, 3)));
+        assert_eq!(q.pop(0), Some((5, 4)));
+    }
+
+    #[test]
+    fn preempt_priority_tracks_inject_queue() {
+        let q = ShardedRunQueue::new(2);
+        assert_eq!(q.preempt_priority(0), -1);
+        q.push_inject((7, 1));
+        q.push_inject((3, 2));
+        assert_eq!(q.preempt_priority(0), 7);
+        assert_eq!(q.pop_inject(), Some((7, 1)));
+        assert_eq!(q.preempt_priority(0), 3);
+        assert_eq!(q.pop_inject(), Some((3, 2)));
+        assert_eq!(q.preempt_priority(0), -1);
     }
 
     #[test]

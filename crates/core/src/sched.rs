@@ -98,6 +98,17 @@ pub(crate) struct Mt {
     pub timeout_wakeups: AtomicU64,
     /// Parked pool LWPs unparked because a push handed them work.
     pub idle_wakes: AtomicU64,
+    /// Running threads switched out at a tick because something better was
+    /// runnable on their shard or the injection queue.
+    pub preempts: AtomicU64,
+    /// Timeshare decay steps applied at preemption ticks.
+    pub decays: AtomicU64,
+    /// Effective priority-inheritance boosts pushed by blocked waiters.
+    pub pi_boosts: AtomicU64,
+    /// Running hints of live pool LWPs — the timer tick's fan-out list.
+    pub pool_hints: Mutex<Vec<u32>>,
+    /// Whether the `sunmt-tick` ticker LWP has been spawned.
+    ticker_started: AtomicBool,
 }
 
 static MT: OnceLock<Mt> = OnceLock::new();
@@ -130,8 +141,151 @@ pub(crate) fn mt() -> &'static Mt {
             pool_grows: AtomicU64::new(0),
             timeout_wakeups: AtomicU64::new(0),
             idle_wakes: AtomicU64::new(0),
+            preempts: AtomicU64::new(0),
+            decays: AtomicU64::new(0),
+            pi_boosts: AtomicU64::new(0),
+            pool_hints: Mutex::new(Vec::new()),
+            ticker_started: AtomicBool::new(false),
         }
     })
+}
+
+// ---------------------------------------------------------------------------
+// Timer-driven preemption.
+//
+// The paper's timeshare scheduling needs a clock: "each LWP has two private
+// interval timers ... when these interval timers expire either SIGVTALRM or
+// SIGPROF, as appropriate, is sent to the LWP". This library has no kernel
+// push into running user code, so expiry is converted into a *flag* the
+// running LWP notices at its next safepoint (a scheduling point or an
+// explicit `preempt_point` call) — the same poll-based substitution already
+// documented for signals and `thread_stop`. Two drivers can raise the flag:
+//
+// * `timer` — one daemon LWP (`sunmt-tick`) sleeps a wall-clock tick and
+//   raises every pool LWP's flag: a process-wide round-robin clock.
+// * `sig` — each pool LWP arms a private [`sunmt_lwp::timer::VirtualTimer`]
+//   (the paper's SIGVTALRM timer) over its own consumed CPU time and polls
+//   it at safepoints: per-LWP virtual time, no extra LWP.
+//
+// The flag *check* runs in every mode — cross-LWP `thread_priority` changes
+// raise it directly so a priority drop takes effect within one safepoint
+// even with the tick drivers off.
+
+/// How `SUNMT_PREEMPT` asked ticks to be generated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum PreemptMode {
+    /// No tick driver (default): voluntary rescheduling only.
+    Off,
+    /// Wall-clock ticker LWP fanning out to every pool LWP.
+    Timer,
+    /// Per-LWP virtual (CPU-time) timer, polled at safepoints.
+    Sig,
+}
+
+pub(crate) fn preempt_mode() -> PreemptMode {
+    static MODE: OnceLock<PreemptMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("SUNMT_PREEMPT").as_deref() {
+        Ok("timer") => PreemptMode::Timer,
+        Ok("sig") => PreemptMode::Sig,
+        _ => PreemptMode::Off,
+    })
+}
+
+/// The preemption quantum (`SUNMT_TICK_US`, default 10ms — the classic
+/// clock-tick order of magnitude; shorter ticks bound dispatch latency
+/// tighter at the cost of more decay/requeue work).
+pub(crate) fn tick_interval() -> core::time::Duration {
+    static TICK: OnceLock<core::time::Duration> = OnceLock::new();
+    *TICK.get_or_init(|| {
+        let us = std::env::var("SUNMT_TICK_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(10_000);
+        core::time::Duration::from_micros(us)
+    })
+}
+
+thread_local! {
+    /// This pool LWP's SIGVTALRM stand-in (`sig` mode only).
+    static VTIMER: RefCell<sunmt_lwp::timer::VirtualTimer> = RefCell::new(
+        sunmt_lwp::timer::VirtualTimer::new(sunmt_lwp::timer::TimerKind::Virtual),
+    );
+}
+
+/// Spawns the `timer`-mode ticker LWP once the pool exists to be ticked.
+fn ensure_ticker() {
+    if preempt_mode() != PreemptMode::Timer {
+        return;
+    }
+    let m = mt();
+    if m.ticker_started.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    if Lwp::spawn_named("sunmt-tick".to_string(), ticker_loop).is_err() {
+        m.ticker_started.store(false, Ordering::SeqCst);
+    }
+}
+
+fn ticker_loop() {
+    let interval = tick_interval();
+    loop {
+        std::thread::sleep(interval);
+        // Snapshot under the lock, raise outside it: a flag store must not
+        // be able to contend with a pool LWP registering or retiring.
+        let hints: Vec<u32> = unpoisoned(&mt().pool_hints).clone();
+        for h in hints {
+            sunmt_lwp::raise_preempt(h);
+        }
+    }
+}
+
+/// Consumes any pending tick for this LWP. The raised-flag check is
+/// unconditional; `sig` mode also polls the private virtual timer.
+fn preempt_pending_here(me: &LwpState) -> bool {
+    let pending = me.take_preempt();
+    if preempt_mode() == PreemptMode::Sig {
+        return VTIMER.with(|t| t.borrow_mut().poll() > 0) || pending;
+    }
+    pending
+}
+
+/// A preemption safepoint — where a kernel would deliver SIGVTALRM, this
+/// library checks at its scheduling points and at explicit
+/// [`crate::api::thread_preempt_point`] calls.
+///
+/// On a pending tick the running thread's timeshare priority decays one
+/// step, and it is switched out iff a higher-priority thread is visible to
+/// this LWP (its own shard or the injection queue — one atomic load each).
+/// A PI boost pushed onto this LWP shields the holder's critical section:
+/// its effective claim to the processor is the boosting waiter's priority.
+pub(crate) fn preempt_check() {
+    if !on_pool_lwp() {
+        return;
+    }
+    let Some(t) = maybe_current() else { return };
+    if t.bound {
+        return;
+    }
+    let me = sunmt_lwp::current();
+    if !preempt_pending_here(&me) {
+        return;
+    }
+    let m = mt();
+    let decayed = t.decay_tick();
+    m.decays.fetch_add(1, Ordering::Relaxed);
+    probe!(Tag::PrioDecay, t.id.0, decayed);
+    let eff = decayed.max(sunmt_lwp::boost_of(me.running_hint()));
+    let Some(shard) = my_shard() else { return };
+    if m.runq.preempt_priority(shard) > eff {
+        m.preempts.fetch_add(1, Ordering::Relaxed);
+        probe!(Tag::Preempt, t.id.0, eff);
+        drop(t);
+        drop(me);
+        // Requeued at the decayed priority (RunItem::priority is the
+        // effective priority), so the thread it starved dispatches first.
+        deschedule(Action::Yield);
+    }
 }
 
 /// Number of run-queue shards: one per hardware context (more would only
@@ -385,6 +539,12 @@ fn sched_loop() {
     // everything else arrives by steal or injection.
     let shard = m.runq.assign_shard();
     MY_SHARD.with(|c| c.set(Some(shard)));
+    // Join the tick fan-out; `sig` mode instead arms this LWP's private
+    // CPU-time timer (the paper's SIGVTALRM interval timer).
+    unpoisoned(&m.pool_hints).push(me.running_hint());
+    if preempt_mode() == PreemptMode::Sig {
+        VTIMER.with(|t| t.borrow_mut().arm(tick_interval()));
+    }
     loop {
         if let Some(t) = m.runq.pop(shard) {
             run_one(t);
@@ -400,6 +560,10 @@ fn sched_loop() {
                     .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
             {
+                let mut hints = unpoisoned(&m.pool_hints);
+                if let Some(pos) = hints.iter().position(|&h| h == me.running_hint()) {
+                    hints.remove(pos);
+                }
                 return;
             }
         }
@@ -429,6 +593,14 @@ fn run_one(t: Arc<Thread>) {
     sunmt_stat::record_since(sunmt_stat::Hs::RunqWait, q0);
     mt().dispatches.fetch_add(1, Ordering::Relaxed);
     t.ctx_switches.fetch_add(1, Ordering::Relaxed);
+    // A fresh quantum: a tick aimed at the previous occupant of this LWP
+    // and any PI boost it carried die here, and the thread publishes where
+    // it runs so cross-LWP priority changes (and PI waiters) can find it.
+    let me = sunmt_lwp::current();
+    let hint = me.running_hint();
+    let _ = me.take_preempt();
+    sunmt_lwp::boost_clear(hint);
+    t.on_lwp_hint.store(hint, Ordering::Release);
     probe!(Tag::Dispatch, t.id.0, t.priority());
     sunmt_trace::set_current_thread(t.id.0);
     // Charge this dispatch interval to the thread (per-thread CPU time) —
@@ -463,6 +635,7 @@ fn run_one(t: Arc<Thread>) {
     let t = CURRENT
         .with(|c| c.borrow_mut().take())
         .expect("dispatcher lost its current thread");
+    t.on_lwp_hint.store(0, Ordering::Release);
     let d0 = t.dispatch_cpu0_ns.load(Ordering::Relaxed);
     if d0 != crate::timers::NOT_SAMPLED {
         let ran = (sunmt_lwp::cpu_time().as_nanos() as u64).saturating_sub(d0);
@@ -521,8 +694,11 @@ pub(crate) fn deschedule(action: Action) {
     // context the dispatcher saved when it resumed us, on this same LWP.
     unsafe { arch::switch_context(t_ctx, sched_ctx) };
     // Dispatched again (possibly on a different LWP): this is a signal
-    // delivery point.
+    // delivery point and a preemption safepoint. The dispatch just consumed
+    // this LWP's flag, so the check only fires when a `sig`-mode quantum
+    // expired while signal handlers ran — nesting is bounded by the tick.
     crate::signals::poll();
+    preempt_check();
 }
 
 // ---------------------------------------------------------------------------
@@ -637,6 +813,8 @@ fn commit_sleep(
     } else {
         drop(tbl);
         // The wake (or a stop) already happened; go straight back around.
+        // It still counts as a completed sleep for the timeshare class.
+        t.wake_restore();
         make_runnable(t);
     }
 }
@@ -656,6 +834,7 @@ pub(crate) fn timeout_wakeup(addr: usize, t: Arc<Thread>) {
     if removed {
         mt().timeout_wakeups.fetch_add(1, Ordering::Relaxed);
         probe!(Tag::SleepTimeout, t.id.0, addr);
+        t.wake_restore();
         make_runnable(t);
     }
 }
@@ -888,6 +1067,7 @@ pub(crate) fn continue_thread(id: ThreadId) -> Result<()> {
                 t.set_state(ThreadState::Running);
                 t.stop_park.unpark();
             } else {
+                t.wake_restore();
                 make_runnable(t);
             }
             Ok(())
@@ -938,6 +1118,10 @@ pub(crate) fn user_unpark(addr: usize, n: usize) -> usize {
     let count = woken.len();
     for t in woken {
         probe!(Tag::Wakeup, t.id.0, addr);
+        // The paper's timeshare sleep boost: a completed sleep clears the
+        // accumulated CPU penalty, so interactive threads come back at
+        // full priority while hogs keep their decay.
+        t.wake_restore();
         make_runnable(t);
     }
     count
@@ -950,6 +1134,7 @@ pub(crate) fn user_requeue(from: usize, to: usize, wake_n: usize) {
     let woken = mt().sleepers.requeue(from, to, wake_n);
     for t in woken {
         probe!(Tag::Wakeup, t.id.0, from);
+        t.wake_restore();
         make_runnable(t);
     }
 }
@@ -989,6 +1174,7 @@ fn add_pool_lwp() {
             drop(lwp); // Detached; pool membership is the identity.
             m.pool_grows.fetch_add(1, Ordering::Relaxed);
             probe!(Tag::PoolGrow, m.pool_count.load(Ordering::SeqCst));
+            ensure_ticker();
         }
         Err(_) => {
             m.pool_count.fetch_sub(1, Ordering::SeqCst);
@@ -1046,6 +1232,9 @@ pub fn stats() -> SchedStats {
         injects: m.runq.inject_count(),
         overflows: m.runq.overflow_count(),
         idle_wakes: m.idle_wakes.load(Ordering::Relaxed),
+        preempts: m.preempts.load(Ordering::Relaxed),
+        decays: m.decays.load(Ordering::Relaxed),
+        pi_boosts: m.pi_boosts.load(Ordering::Relaxed),
         magazine_hits: crate::magazine::hit_count(),
         magazine_misses: crate::magazine::miss_count(),
         cv_requeues: sunmt_sync::condvar::requeue_count(),
@@ -1071,6 +1260,9 @@ fn sched_stat_source() -> Vec<(String, u64)> {
         ("injects".to_string(), s.injects),
         ("overflows".to_string(), s.overflows),
         ("idle_wakes".to_string(), s.idle_wakes),
+        ("preempts".to_string(), s.preempts),
+        ("decays".to_string(), s.decays),
+        ("pi_boosts".to_string(), s.pi_boosts),
         ("magazine_hits".to_string(), s.magazine_hits),
         ("magazine_misses".to_string(), s.magazine_misses),
         ("cv_requeues".to_string(), s.cv_requeues),
@@ -1121,6 +1313,13 @@ pub struct SchedStats {
     pub overflows: u64,
     /// Parked pool LWPs unparked because a push handed them work.
     pub idle_wakes: u64,
+    /// Running threads switched out at a preemption tick because a
+    /// higher-priority thread was runnable.
+    pub preempts: u64,
+    /// Timeshare decay steps applied at preemption ticks.
+    pub decays: u64,
+    /// Effective priority-inheritance boosts pushed by blocked waiters.
+    pub pi_boosts: u64,
     /// Create-path magazine/depot hits (stacks and thread objects).
     pub magazine_hits: u64,
     /// Create-path magazine/depot misses (fresh allocations).

@@ -152,4 +152,27 @@ impl BlockStrategy for MtStrategy {
     fn lwp_running(&self, hint: u32) -> bool {
         sunmt_lwp::hint_is_running(hint)
     }
+
+    fn pi_boost(&self, owner_hint: u32) -> i32 {
+        // The boost carries the waiter's *base* priority — what the lock
+        // holder's LWP must effectively outrank to stay on its processor
+        // until the release strips it. `boost_raise` is a fetch_max, so
+        // concurrent waiters leave the highest claim standing.
+        let Some(t) = sched::maybe_current() else {
+            return 0;
+        };
+        let pri = t.priority();
+        if pri > 0 && sunmt_lwp::boost_raise(owner_hint, pri) {
+            sched::mt()
+                .pi_boosts
+                .fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+            pri
+        } else {
+            0
+        }
+    }
+
+    fn pi_strip(&self, owner_hint: u32) -> i32 {
+        sunmt_lwp::boost_clear(owner_hint)
+    }
 }

@@ -73,7 +73,27 @@ pub(crate) struct Thread {
     /// run queue; 0 when stats are disabled or the thread is not queued.
     /// Consumed by the dispatcher to charge run-queue wait time.
     pub(crate) queued_cy: AtomicU64,
+    /// Timeshare decay: how far below its base priority this thread
+    /// currently schedules. Grown by the preemption tick while the thread
+    /// hogs a processor, reset to 0 when it sleeps and is woken (the
+    /// simkernel's ts_sleep-boost analogue). `priority()` keeps returning
+    /// the base — the decay is scheduler state, not an API-visible change.
+    pub(crate) ts_penalty: AtomicI32,
+    /// Whole ticks this thread has run in its current stint on an LWP
+    /// (reset at every dispatch); drives the decay table.
+    pub(crate) quantum_ticks: AtomicU32,
+    /// The `running_hint` of the LWP this thread is currently dispatched
+    /// on (0 = not on an LWP). Lets `thread_priority` on a *running*
+    /// thread kick that LWP's preempt flag so the change takes effect
+    /// within one safepoint instead of at the next voluntary reschedule.
+    pub(crate) on_lwp_hint: AtomicU32,
 }
+
+/// The timeshare decay table: `quantum_ticks -> penalty` (values past the
+/// end clamp to the last entry). Mirrors the simkernel timeshare class: a
+/// thread that keeps the processor across ticks drops by 10 per tick until
+/// its effective priority floors at 0.
+pub(crate) const TS_DECAY: [i32; 5] = [0, 10, 20, 30, 40];
 
 // SAFETY: `cont` is accessed only by the single LWP currently running or
 // dispatching the thread (the scheduler hands a thread to at most one LWP at
@@ -119,6 +139,9 @@ impl Thread {
             prof_deadline_ns: AtomicU64::new(0),
             prof_interval_ns: AtomicU64::new(0),
             queued_cy: AtomicU64::new(0),
+            ts_penalty: AtomicI32::new(0),
+            quantum_ticks: AtomicU32::new(0),
+            on_lwp_hint: AtomicU32::new(0),
         })
     }
 
@@ -167,6 +190,9 @@ impl Thread {
         *self.prof_deadline_ns.get_mut() = 0;
         *self.prof_interval_ns.get_mut() = 0;
         *self.queued_cy.get_mut() = 0;
+        *self.ts_penalty.get_mut() = 0;
+        *self.quantum_ticks.get_mut() = 0;
+        *self.on_lwp_hint.get_mut() = 0;
     }
 
     /// A minimal thread object for data-structure unit tests.
@@ -198,6 +224,31 @@ impl Thread {
 
     pub(crate) fn set_priority_raw(&self, p: i32) -> i32 {
         self.priority.swap(p, Ordering::SeqCst)
+    }
+
+    /// The priority this thread actually schedules at: base minus the
+    /// timeshare decay penalty, floored at 0.
+    pub(crate) fn effective_priority(&self) -> i32 {
+        (self.priority() - self.ts_penalty.load(Ordering::Relaxed)).max(0)
+    }
+
+    /// One preemption tick landed while this thread held a processor:
+    /// advance its quantum count and look the new penalty up in the decay
+    /// table. Returns the new effective priority.
+    pub(crate) fn decay_tick(&self) -> i32 {
+        let ticks = self.quantum_ticks.fetch_add(1, Ordering::Relaxed) as usize + 1;
+        let penalty = TS_DECAY[ticks.min(TS_DECAY.len() - 1)];
+        self.ts_penalty.store(penalty, Ordering::Relaxed);
+        self.effective_priority()
+    }
+
+    /// A sleep-then-wake restores the thread to its base priority — the
+    /// timeshare "sleep boost" that keeps interactive threads responsive.
+    /// Yield/preempt requeues do NOT restore, or a hog could launder its
+    /// penalty by yielding.
+    pub(crate) fn wake_restore(&self) {
+        self.ts_penalty.store(0, Ordering::Relaxed);
+        self.quantum_ticks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -394,7 +445,19 @@ pub fn set_priority(which: Option<ThreadId>, priority: i32) -> Result<i32> {
         Some(id) => sched::lookup(id)?,
         None => sched::current_thread(),
     };
-    Ok(t.set_priority_raw(priority))
+    let old = t.set_priority_raw(priority);
+    // An explicit change starts the thread on a fresh timeshare slate.
+    t.ts_penalty.store(0, Ordering::SeqCst);
+    t.quantum_ticks.store(0, Ordering::SeqCst);
+    // If the target is on an LWP right now, raise that LWP's preempt flag:
+    // a demotion must be able to take effect at the target's next safepoint,
+    // not at its next voluntary reschedule. (Raising the flag for a thread
+    // that just switched out is harmless — the check is a re-validation.)
+    let hint = t.on_lwp_hint.load(Ordering::SeqCst);
+    if hint != 0 && sched::maybe_current().map(|c| c.id) != Some(t.id) {
+        sunmt_lwp::raise_preempt(hint);
+    }
+    Ok(old)
 }
 
 /// Voluntarily yields the processor to another runnable thread.

@@ -29,7 +29,7 @@ pub mod registry;
 pub mod timer;
 
 use std::cell::OnceCell;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI32, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +44,14 @@ const RUN_SLOTS: usize = 1024;
 /// One cell per LWP slot: 0 while the LWP is (presumed) on a processor,
 /// 1 while its parker has it asleep in the kernel or it has exited.
 static RUN_FLAGS: [AtomicU32; RUN_SLOTS] = [const { AtomicU32::new(0) }; RUN_SLOTS];
+/// One cell per LWP slot: non-zero once a tick (or a cross-LWP priority
+/// change) asked the LWP to run a preemption check at its next safepoint —
+/// the user-level stand-in for the pending-SIGVTALRM bit.
+static PREEMPT_FLAGS: [AtomicU32; RUN_SLOTS] = [const { AtomicU32::new(0) }; RUN_SLOTS];
+/// One cell per LWP slot: the priority a blocked waiter pushed onto whatever
+/// thread is currently running on that LWP (priority inheritance), 0 when no
+/// boost is in effect. Like the run flags, advisory across slot reuse.
+static BOOST_PRI: [AtomicI32; RUN_SLOTS] = [const { AtomicI32::new(0) }; RUN_SLOTS];
 static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
 
 /// The kernel-visible identity of an LWP.
@@ -78,6 +86,15 @@ impl LwpState {
     pub fn running_hint(&self) -> u32 {
         self.slot as u32 + 1
     }
+
+    /// Consumes this LWP's pending preempt request, if one was raised since
+    /// the last take. Called at scheduler safepoints.
+    pub fn take_preempt(&self) -> bool {
+        // Cheap-path load first: safepoints run on every dispatch and the
+        // flag is almost always clear.
+        PREEMPT_FLAGS[self.slot].load(Ordering::Relaxed) != 0
+            && PREEMPT_FLAGS[self.slot].swap(0, Ordering::Acquire) != 0
+    }
 }
 
 /// TLS cell owning this host thread's LWP identity. Its drop at host-thread
@@ -91,8 +108,11 @@ impl Drop for Registered {
         // only) if the tracer's own TLS is already gone.
         sunmt_trace::probe!(sunmt_trace::Tag::LwpExit, self.0.id.0);
         // A dead LWP is not running; spinners waiting on its hint should
-        // stop immediately rather than burn out their budget.
+        // stop immediately rather than burn out their budget. Its pending
+        // preempt/boost state dies with it.
         RUN_FLAGS[self.0.slot].store(1, Ordering::Release);
+        PREEMPT_FLAGS[self.0.slot].store(0, Ordering::Release);
+        BOOST_PRI[self.0.slot].store(0, Ordering::Release);
         registry::global().lwp_exited();
     }
 }
@@ -111,6 +131,10 @@ fn make_state() -> Arc<LwpState> {
     // The parker raises this cell while the LWP sleeps in the kernel, which
     // is what makes `hint_is_running` answer "is the owner on a processor".
     state.park.bind_run_flag(&RUN_FLAGS[slot]);
+    // A recycled slot must not inherit its previous occupant's pending
+    // preempt request or boost.
+    PREEMPT_FLAGS[slot].store(0, Ordering::Release);
+    BOOST_PRI[slot].store(0, Ordering::Release);
     state
 }
 
@@ -126,6 +150,44 @@ pub fn hint_is_running(hint: u32) -> bool {
     // No hint (an owner that never published one) reads as running: the
     // caller keeps spinning toward its cap instead of parking on a guess.
     hint == 0 || RUN_FLAGS[(hint as usize - 1) % RUN_SLOTS].load(Ordering::Acquire) == 0
+}
+
+/// Asks the LWP behind `hint` to run a preemption check at its next
+/// safepoint. Raised by the tick drivers and by cross-LWP priority changes;
+/// consumed by [`LwpState::take_preempt`]. A zero hint is ignored.
+pub fn raise_preempt(hint: u32) {
+    if hint != 0 {
+        PREEMPT_FLAGS[(hint as usize - 1) % RUN_SLOTS].store(1, Ordering::Release);
+    }
+}
+
+/// Pushes an inherited priority onto the LWP behind `hint` (the thread
+/// currently running there is the recorded owner of a contended lock).
+/// Returns whether the boost actually raised the slot's value — callers
+/// count only effective boosts. A zero hint is a no-op.
+pub fn boost_raise(hint: u32, pri: i32) -> bool {
+    if hint == 0 {
+        return false;
+    }
+    BOOST_PRI[(hint as usize - 1) % RUN_SLOTS].fetch_max(pri, Ordering::AcqRel) < pri
+}
+
+/// The inherited priority currently pushed onto the LWP behind `hint`
+/// (0 = none).
+pub fn boost_of(hint: u32) -> i32 {
+    if hint == 0 {
+        return 0;
+    }
+    BOOST_PRI[(hint as usize - 1) % RUN_SLOTS].load(Ordering::Acquire)
+}
+
+/// Strips the inherited priority from the LWP behind `hint`, returning the
+/// boost that was in effect (0 = there was none).
+pub fn boost_clear(hint: u32) -> i32 {
+    if hint == 0 {
+        return 0;
+    }
+    BOOST_PRI[(hint as usize - 1) % RUN_SLOTS].swap(0, Ordering::AcqRel)
 }
 
 /// The calling LWP's state.
@@ -303,6 +365,28 @@ mod tests {
         assert!(!hint_is_running(hint), "parked LWP still reads as running");
         lwp.state().parker().unpark();
         lwp.join();
+    }
+
+    #[test]
+    fn preempt_and_boost_slots_round_trip() {
+        let me = current();
+        let hint = me.running_hint();
+        assert!(!me.take_preempt());
+        raise_preempt(hint);
+        assert!(me.take_preempt());
+        assert!(!me.take_preempt(), "take must consume the request");
+        assert_eq!(boost_of(hint), 0);
+        assert!(boost_raise(hint, 30));
+        assert!(!boost_raise(hint, 20), "a lower boost is not an increase");
+        assert_eq!(boost_of(hint), 30);
+        assert_eq!(boost_clear(hint), 30);
+        assert_eq!(boost_of(hint), 0);
+        // Zero hints (no published owner) are inert.
+        assert!(!boost_raise(0, 99));
+        assert_eq!(boost_of(0), 0);
+        assert_eq!(boost_clear(0), 0);
+        raise_preempt(0);
+        assert!(!me.take_preempt());
     }
 
     #[test]

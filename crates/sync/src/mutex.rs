@@ -401,9 +401,26 @@ impl Mutex {
         }
         // Sleep path: announce contention so the releaser knows to wake us.
         let shared = kind.is_shared();
+        let pi = kind.is_adaptive() && !kind.is_debug();
         while self.word.swap(CONTENDED, Ordering::Acquire) != UNLOCKED {
             if sunmt_stat::enabled() {
                 sunmt_stat::lock::parked(self.site());
+            }
+            if pi {
+                // Priority inheritance: before sleeping, push our priority
+                // onto the LWP the recorded holder runs on, so a preempting
+                // scheduler keeps the critical section on its processor
+                // instead of starving it below us. The hint is re-read every
+                // lap — the lock may have changed hands while we slept — and
+                // the release path strips the boost.
+                let pushed = strategy::pi_boost(self.owner.load(Ordering::Acquire));
+                if pushed > 0 {
+                    sunmt_trace::probe!(
+                        sunmt_trace::Tag::PiBoost,
+                        &self.word as *const _ as usize,
+                        pushed
+                    );
+                }
             }
             strategy::park(&self.word, CONTENDED, shared);
         }
@@ -831,8 +848,16 @@ impl Mutex {
             // Retract the hint *before* releasing the word: a spinner must
             // never keep spinning on our hint after the next holder has
             // taken over. A momentary zero hint reads as "running", which
-            // is the conservative direction.
-            self.owner.store(0, Ordering::Release);
+            // is the conservative direction. Any priority-inheritance boost
+            // waiters pushed onto that LWP dies with the critical section.
+            let stripped = strategy::pi_strip(self.owner.swap(0, Ordering::AcqRel));
+            if stripped > 0 {
+                sunmt_trace::probe!(
+                    sunmt_trace::Tag::PiStrip,
+                    &self.word as *const _ as usize,
+                    stripped
+                );
+            }
         }
         let prev = self.word.swap(UNLOCKED, Ordering::Release);
         debug_assert_ne!(prev, UNLOCKED, "mutex_exit of an unheld mutex");

@@ -123,6 +123,24 @@ pub trait BlockStrategy: Sync {
     fn lwp_running(&self, _hint: u32) -> bool {
         true
     }
+
+    /// Priority inheritance: pushes the calling waiter's priority onto the
+    /// LWP behind `owner_hint` (the published holder of the lock the caller
+    /// is about to park on), so a preempting scheduler will not keep the
+    /// holder off the processor while a higher-priority waiter sleeps.
+    /// Returns the priority actually pushed, or 0 if no boost was applied
+    /// (the owner already ran at least that high, or the backend has no
+    /// priorities — the default).
+    fn pi_boost(&self, _owner_hint: u32) -> i32 {
+        0
+    }
+
+    /// Strips whatever [`Self::pi_boost`] pushed onto the LWP behind
+    /// `owner_hint`, returning the boost that was removed (0 = there was
+    /// none). Called by the lock release path.
+    fn pi_strip(&self, _owner_hint: u32) -> i32 {
+        0
+    }
 }
 
 /// The default strategy: block the calling LWP in the kernel.
@@ -247,6 +265,18 @@ pub fn lwp_hint() -> u32 {
 #[inline]
 pub fn lwp_running(hint: u32) -> bool {
     current().lwp_running(hint)
+}
+
+/// Boosts the hinted owner's priority (see [`BlockStrategy::pi_boost`]).
+#[inline]
+pub fn pi_boost(owner_hint: u32) -> i32 {
+    current().pi_boost(owner_hint)
+}
+
+/// Strips an inherited boost (see [`BlockStrategy::pi_strip`]).
+#[inline]
+pub fn pi_strip(owner_hint: u32) -> i32 {
+    current().pi_strip(owner_hint)
 }
 
 #[cfg(test)]

@@ -77,7 +77,11 @@ fn render_class(tag: Tag) -> RenderClass {
         | Tag::IoShardSteal
         | Tag::IoBatchFlush
         | Tag::MutexQueueWait
-        | Tag::MutexHandoff => RenderClass::Instant,
+        | Tag::MutexHandoff
+        | Tag::Preempt
+        | Tag::PrioDecay
+        | Tag::PiBoost
+        | Tag::PiStrip => RenderClass::Instant,
     }
 }
 

@@ -141,10 +141,23 @@ pub enum Tag {
     /// lock word address, `b` = 1 if the successor was parked and a futex
     /// wake was issued, 0 if it was handed to a spinner).
     MutexHandoff = 51,
+    /// A timer tick forced the running thread off the CPU because a
+    /// higher-priority thread was runnable (`a` = preempted thread id,
+    /// `b` = the effective priority it was preempted at).
+    Preempt = 52,
+    /// A tick decayed the running thread's timeshare priority (`a` =
+    /// thread id, `b` = the new effective priority).
+    PrioDecay = 53,
+    /// A blocked waiter inherited its priority to the mutex holder's LWP
+    /// (`a` = lock address, `b` = the priority pushed to the owner).
+    PiBoost = 54,
+    /// A mutex release stripped the inherited priority from the former
+    /// owner's LWP (`a` = lock address, `b` = the boost removed).
+    PiStrip = 55,
 }
 
 /// Number of distinct tags (length of [`Tag::ALL`]).
-pub const NTAGS: usize = 52;
+pub const NTAGS: usize = 56;
 
 impl Tag {
     /// Every tag, indexed by discriminant.
@@ -201,6 +214,10 @@ impl Tag {
         Tag::IoBatchFlush,
         Tag::MutexQueueWait,
         Tag::MutexHandoff,
+        Tag::Preempt,
+        Tag::PrioDecay,
+        Tag::PiBoost,
+        Tag::PiStrip,
     ];
 
     /// Decodes a stored discriminant.
@@ -263,6 +280,10 @@ impl Tag {
             Tag::IoBatchFlush => "io-batch-flush",
             Tag::MutexQueueWait => "mutex-queue-wait",
             Tag::MutexHandoff => "mutex-handoff",
+            Tag::Preempt => "preempt",
+            Tag::PrioDecay => "prio-decay",
+            Tag::PiBoost => "pi-boost",
+            Tag::PiStrip => "pi-strip",
         }
     }
 }

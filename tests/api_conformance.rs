@@ -112,6 +112,66 @@ fn thread_priority_returns_old_value() {
 }
 
 #[test]
+fn thread_priority_demotion_kicks_a_running_thread() {
+    // "Increasing the specified priority gives increasing scheduling
+    // priority" — and a *demotion* of a running unbound thread must take
+    // effect within one tick, not at its next voluntary reschedule:
+    // `thread_priority` raises the target LWP's preempt flag, and the
+    // target consumes it (decaying and re-running the dispatch check) at
+    // its next safepoint even with no tick driver configured.
+    thread_setconcurrency(1).expect("pin the pool at 1 LWP");
+    let old_pri = thread_priority(None, 10).expect("raise creator priority");
+    let before_decays = sunos_mt::threads::stats().decays;
+
+    let stop = Arc::new(AtomicU32::new(0));
+    let hog_running = Arc::new(AtomicU32::new(0));
+    let (s, hr) = (Arc::clone(&stop), Arc::clone(&hog_running));
+    let hog = thread_create(CreateFlags::WAIT, move || {
+        while s.load(Ordering::SeqCst) == 0 {
+            hr.store(1, Ordering::SeqCst);
+            sunos_mt::threads::api::thread_preempt_point();
+        }
+    })
+    .expect("spawn hog");
+    while hog_running.load(Ordering::SeqCst) == 0 {
+        std::hint::spin_loop();
+    }
+
+    // A same-priority waiter injected behind the spinning hog, then the
+    // demotion that must let it through.
+    let ran = Arc::new(AtomicU32::new(0));
+    let r = Arc::clone(&ran);
+    let waiter = thread_create(CreateFlags::WAIT, move || {
+        r.store(1, Ordering::SeqCst);
+    })
+    .expect("spawn waiter");
+    thread_priority(Some(hog), 0).expect("demote the hog");
+
+    // The kicked flag must be consumed (a decay recorded) and the waiter
+    // dispatched, both well within the bounded window.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while (ran.load(Ordering::SeqCst) == 0 || sunos_mt::threads::stats().decays == before_decays)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    stop.store(1, Ordering::SeqCst);
+    thread_wait(Some(waiter)).expect("wait waiter");
+    thread_wait(Some(hog)).expect("wait hog");
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        1,
+        "waiter starved behind the demoted hog"
+    );
+    assert!(
+        sunos_mt::threads::stats().decays > before_decays,
+        "the demotion never raised the running hog's preempt flag"
+    );
+    thread_priority(None, old_pri).expect("restore creator priority");
+    thread_setconcurrency(0).expect("unpin the pool");
+}
+
+#[test]
 fn thread_setconcurrency_accepts_zero_and_n() {
     thread_setconcurrency(2).expect("explicit");
     thread_setconcurrency(0).expect("automatic");

@@ -127,6 +127,25 @@ const CORPUS: &[(&str, &str)] = &[
     // fires *before* its arm — the level-triggered re-report still
     // delivers both wakeups.
     ("v1/io_shard/default/1.1.1.1.1.1.1.1.1.1.1.1", ""),
+    // The unbounded priority inversion: the tick preempts the low-priority
+    // lock holder while the high-priority waiter is already parked on its
+    // mutex, and the middle-priority hog stays runnable — without priority
+    // inheritance nothing ever outranks the hog on the holder's behalf, so
+    // the waiter's wait is unbounded. Found by the exhaustive sweep.
+    (
+        "v1/neg_pi_unbounded_inversion/default/0.2.2.2.1.2.2.2.2.2.2.0.1.0",
+        "unbounded priority inversion",
+    ),
+    // Adversarial passing schedule through the same triangle with priority
+    // inheritance on: the parking waiter boosts the holder to its own
+    // priority (pi-boost fires), the tick then finds the boosted holder
+    // outranking the middle hog so the preempt gate holds it on its
+    // processor, and the release strips the boost (pi-strip fires) before
+    // handing the lock over — the inversion oracle must stay silent.
+    (
+        "v1/mutex_adaptive_pi/default/0.2.2.2.1.2.2.2.2.2.2.0.1.0",
+        "",
+    ),
 ];
 
 #[test]

@@ -58,15 +58,25 @@ fn steal_order_is_reproducible() {
 }
 
 #[test]
-fn pop_prefers_home_then_injection_then_steal() {
+fn pop_prefers_home_unless_injection_outranks() {
     let q: ShardedRunQueue<(i32, u64)> = ShardedRunQueue::new(2);
     q.push(1, (9, 1)); // highest priority, but another shard's
     q.push_inject((5, 2));
-    q.push(0, (1, 3)); // lowest priority, but the home shard's
-    assert_eq!(q.pop(0), Some((1, 3)));
+    q.push(0, (1, 3)); // lowest priority, the home shard's
+                       // The injected item outranks the home shard's top, so it dispatches
+                       // first (a preempted thread requeues on its own shard — taking home
+                       // blindly would dispatch it ahead of the thread that preempted it);
+                       // then the home shard, then the steal. Other shards never outrank
+                       // either: their own LWPs service them.
     assert_eq!(q.pop(0), Some((5, 2)));
+    assert_eq!(q.pop(0), Some((1, 3)));
     assert_eq!(q.pop(0), Some((9, 1)));
     assert_eq!(q.steal_count(), 1);
+    // With the ranks reversed, home keeps its dispatch-locality win.
+    q.push(0, (5, 4));
+    q.push_inject((5, 5));
+    assert_eq!(q.pop(0), Some((5, 4)));
+    assert_eq!(q.pop(0), Some((5, 5)));
 }
 
 #[test]
